@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"textjoin/internal/corpus"
+)
+
+func TestRunCustomProfile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.txt")
+	if err := run("", 1, 25, 8, 300, 7, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	docs, err := corpus.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 25 {
+		t.Errorf("docs = %d, want 25", len(docs))
+	}
+	for i, d := range docs {
+		if d.ID != uint32(i) || len(d.Cells) == 0 {
+			t.Errorf("doc %d = %+v", i, d)
+		}
+	}
+}
+
+func TestRunNamedProfileScaled(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "wsj.txt")
+	if err := run("wsj", 4096, 0, 0, 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	docs, err := corpus.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := corpus.WSJ.Scaled(4096).NumDocs
+	if int64(len(docs)) != want {
+		t.Errorf("docs = %d, want %d", len(docs), want)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	if err := run("", 1, 10, 5, 100, 3, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 1, 10, 5, 100, 3, b); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Error("same seed produced different corpora")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.txt")
+	if err := run("nope", 1, 0, 0, 0, 1, out); err == nil {
+		t.Error("unknown profile: want error")
+	}
+	if err := run("", 1, 10, 50, 5, 1, out); err == nil {
+		t.Error("K > vocab: want error")
+	}
+	if err := run("", 1, 10, 5, 100, 1, "/nonexistent-dir/x.txt"); err == nil {
+		t.Error("bad output path: want error")
+	}
+}

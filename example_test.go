@@ -1,0 +1,126 @@
+package textjoin_test
+
+import (
+	"fmt"
+	"log"
+
+	"textjoin"
+)
+
+// ExampleJoin shows the minimal path: two tiny collections, one inverted
+// file, one algorithm.
+func ExampleJoin() {
+	ws := textjoin.NewWorkspace()
+	c1, err := ws.NewCollection("c1", []*textjoin.Document{
+		textjoin.NewDocument(0, map[uint32]int{1: 2, 5: 1}),
+		textjoin.NewDocument(1, map[uint32]int{2: 1}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2, err := ws.NewCollection("c2", []*textjoin.Document{
+		textjoin.NewDocument(0, map[uint32]int{1: 3}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, _, err := textjoin.Join(textjoin.HHNL,
+		textjoin.Inputs{Outer: c2, Inner: c1},
+		textjoin.Options{Lambda: 1, MemoryPages: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := results[0].Matches[0]
+	fmt.Printf("C2 doc %d best match: C1 doc %d (similarity %.0f)\n", results[0].Outer, m.Doc, m.Sim)
+	// Output: C2 doc 0 best match: C1 doc 0 (similarity 6)
+}
+
+// ExampleJoinIntegrated lets the paper's integrated algorithm pick the
+// cheapest strategy from the collection statistics.
+func ExampleJoinIntegrated() {
+	ws := textjoin.NewWorkspace()
+	docs := func(n int, shift uint32) []*textjoin.Document {
+		out := make([]*textjoin.Document, n)
+		for i := range out {
+			out[i] = textjoin.NewDocument(uint32(i), map[uint32]int{
+				uint32(i)%7 + shift: 1 + i%3,
+				uint32(i)%5 + 10:    1,
+			})
+		}
+		return out
+	}
+	c1, err := ws.NewCollection("c1", docs(12, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2, err := ws.NewCollection("c2", docs(8, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv1, err := ws.BuildInvertedFile(c1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv2, err := ws.BuildInvertedFile(c2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, _, dec, err := textjoin.JoinIntegrated(
+		textjoin.Inputs{Outer: c2, Inner: c1, InnerInv: inv1, OuterInv: inv2},
+		textjoin.Options{Lambda: 2, MemoryPages: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d result rows from %v (3 candidate algorithms estimated: %d)\n",
+		len(results), dec.Chosen, len(dec.Estimates))
+	// Output: 8 result rows from HHNL (3 candidate algorithms estimated: 3)
+}
+
+// ExampleNewBatch joins ad-hoc queries — never stored, never indexed —
+// against a collection.
+func ExampleNewBatch() {
+	ws := textjoin.NewWorkspace()
+	coll, err := ws.NewCollection("articles", []*textjoin.Document{
+		textjoin.NewDocument(0, map[uint32]int{100: 2, 101: 1}),
+		textjoin.NewDocument(1, map[uint32]int{200: 1}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv, err := ws.BuildInvertedFile(coll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := textjoin.NewBatch("queries", []*textjoin.Document{
+		textjoin.NewDocument(42, map[uint32]int{100: 1}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, _, err := textjoin.Join(textjoin.HVNL,
+		textjoin.Inputs{Outer: batch, Inner: coll, InnerInv: inv},
+		textjoin.Options{Lambda: 1, MemoryPages: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %d matched article %d\n", results[0].Outer, results[0].Matches[0].Doc)
+	// Output: query 42 matched article 0
+}
+
+// ExampleEstimateCosts evaluates the paper's Section 5 formulas at the
+// WSJ self-join base configuration.
+func ExampleEstimateCosts() {
+	wsj := textjoin.Profiles()[0].Stats()
+	ests := textjoin.EstimateCosts(
+		textjoin.CostInput{C1: wsj, C2: wsj},
+		textjoin.System{B: 10000, P: 4096, Alpha: 5},
+		textjoin.QueryParams{Lambda: 20, Delta: 0.1},
+	)
+	for _, e := range ests {
+		fmt.Printf("%v seq=%.0f\n", e.Algorithm, e.Seq)
+	}
+	// Output:
+	// HHNL seq=237921
+	// HVNL seq=90637206
+	// VVM seq=7613471
+}

@@ -1,0 +1,150 @@
+// Jobmatch runs the paper's motivating example end to end through the
+// extended-SQL layer:
+//
+//	Select P.P#, P.Title, A.SSN, A.Name
+//	From Positions P, Applicants A
+//	Where P.Title like "%Engineer%"
+//	  and A.Resume SIMILAR_TO(2) P.Job_descr
+//
+// The LIKE selection is evaluated first so that only engineering
+// positions participate in the textual join, and the planner then picks
+// the join algorithm by estimated cost (the integrated algorithm).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"textjoin"
+)
+
+var positions = []struct {
+	id    int64
+	title string
+	descr string
+}{
+	{1, "Database Engineer", "design and operate distributed database systems, query optimization, go services"},
+	{2, "Search Engineer", "build information retrieval engines, inverted indexes, text ranking"},
+	{3, "Payroll Clerk", "process payroll, benefits administration, monthly reporting"},
+	{4, "Hardware Engineer", "digital circuit design, fpga prototyping, signal integrity"},
+	{5, "Engineering Manager", "lead a team of software engineers, planning, hiring, mentoring"},
+	{6, "Technical Writer", "write documentation and tutorials for developer products"},
+}
+
+var applicants = []struct {
+	ssn    int64
+	name   string
+	resume string
+}{
+	{1001, "Ada", "ten years building distributed databases and query optimizers in go and c++"},
+	{1002, "Bob", "payroll specialist, benefits and compensation reporting"},
+	{1003, "Cara", "search systems: inverted indexes, ranking, text retrieval at scale"},
+	{1004, "Dan", "fpga and asic design, circuits, verilog, signal analysis"},
+	{1005, "Eve", "engineering leadership, team building, roadmap planning, hiring"},
+	{1006, "Finn", "technical documentation, developer tutorials, api references"},
+	{1007, "Gil", "database internals, storage engines, b-trees, go"},
+}
+
+func main() {
+	ws := textjoin.NewWorkspace()
+	dict := textjoin.NewDictionary()
+	tok := textjoin.NewTokenizer(dict)
+
+	// Tokenize the textual attributes into two collections.
+	var descrDocs, resumeDocs []*textjoin.Document
+	for i, p := range positions {
+		d, err := tok.Document(uint32(i), p.descr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		descrDocs = append(descrDocs, d)
+	}
+	for i, a := range applicants {
+		d, err := tok.Document(uint32(i), a.resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resumeDocs = append(resumeDocs, d)
+	}
+	descrs, err := ws.NewCollection("job_descriptions", descrDocs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumes, err := ws.NewCollection("resumes", resumeDocs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	descrsInv, err := ws.BuildInvertedFile(descrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumesInv, err := ws.BuildInvertedFile(resumes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The global relations of the motivating example.
+	posRel, err := textjoin.NewRelation("Positions", []textjoin.Column{
+		{Name: "P#", Type: textjoin.IntType},
+		{Name: "Title", Type: textjoin.StringType},
+		{Name: "Job_descr", Type: textjoin.TextType},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range positions {
+		if err := posRel.Insert(textjoin.IntValue(p.id), textjoin.StringValue(p.title), textjoin.TextValue(uint32(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	appRel, err := textjoin.NewRelation("Applicants", []textjoin.Column{
+		{Name: "SSN", Type: textjoin.IntType},
+		{Name: "Name", Type: textjoin.StringType},
+		{Name: "Resume", Type: textjoin.TextType},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, a := range applicants {
+		if err := appRel.Insert(textjoin.IntValue(a.ssn), textjoin.StringValue(a.name), textjoin.TextValue(uint32(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cat := textjoin.NewCatalog()
+	must(cat.Register(posRel))
+	must(cat.Register(appRel))
+	must(cat.BindText("Positions", "Job_descr", textjoin.TextBinding{Collection: descrs, Inverted: descrsInv}))
+	must(cat.BindText("Applicants", "Resume", textjoin.TextBinding{Collection: resumes, Inverted: resumesInv}))
+
+	engine := textjoin.NewEngine(cat)
+	src := `Select P.P#, P.Title, A.SSN, A.Name
+	        From Positions P, Applicants A
+	        Where P.Title like "%Engineer%"
+	          and A.Resume SIMILAR_TO(2) P.Job_descr`
+	fmt.Println("query:")
+	for _, line := range strings.Split(src, "\n") {
+		fmt.Println("   ", strings.TrimSpace(line))
+	}
+
+	rs, err := engine.ExecuteString(src, textjoin.QueryOptions{MemoryPages: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplanner chose %v; estimates:\n", rs.Algorithm)
+	for _, e := range rs.Estimates {
+		fmt.Printf("  %-5v seq=%.1f rand=%.1f\n", e.Algorithm, e.Seq, e.Rand)
+	}
+	fmt.Printf("\n%s\n", strings.Join(rs.Columns, " | "))
+	for _, row := range rs.Rows {
+		fmt.Println(strings.Join(row, " | "))
+	}
+	fmt.Printf("\njoin I/O: %s (cost %.0f)\n", rs.JoinStats.IO, rs.JoinStats.Cost)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

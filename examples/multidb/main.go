@@ -1,0 +1,110 @@
+// Multidb demonstrates Section 3's multidatabase term-number problem:
+// "different numbers may be used to represent the same term in different
+// local IR systems due to the local autonomy", solved by a standard
+// mapping from terms to term numbers kept in memory.
+//
+// Two autonomous IR systems hold résumés and job descriptions with
+// incompatible local term numberings. Each local vocabulary is mapped to
+// the standard dictionary, the documents are renumbered through the
+// memory-resident mappings, and the textual join then runs on comparable
+// vectors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"textjoin"
+)
+
+// Local IR system A (résumés) numbers its vocabulary one way...
+var systemAVocab = map[uint32]string{
+	501: "database", 502: "go", 503: "distributed", 504: "compiler",
+	505: "haskell", 506: "payroll",
+}
+
+var systemADocs = []struct {
+	name  string
+	cells map[uint32]int // in system A's local numbering
+}{
+	{"Ada", map[uint32]int{501: 2, 502: 1, 503: 1}}, // database go distributed
+	{"Hal", map[uint32]int{504: 2, 505: 1}},         // compiler haskell
+	{"Pam", map[uint32]int{506: 3}},                 // payroll
+}
+
+// ...and local IR system B (job descriptions) numbers the same terms
+// completely differently.
+var systemBVocab = map[uint32]string{
+	7: "go", 8: "database", 9: "compiler", 10: "distributed",
+	11: "haskell", 12: "payroll",
+}
+
+var systemBDocs = []struct {
+	title string
+	cells map[uint32]int // in system B's local numbering
+}{
+	{"Database Engineer", map[uint32]int{8: 2, 7: 1, 10: 1}},
+	{"Compiler Engineer", map[uint32]int{9: 2, 11: 1}},
+	{"Payroll Admin", map[uint32]int{12: 2}},
+}
+
+func main() {
+	// The standard dictionary all locals map into.
+	dict := textjoin.NewDictionary()
+	mapA, err := textjoin.NewLocalMapping("systemA", dict, systemAVocab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapB, err := textjoin.NewLocalMapping("systemB", dict, systemBVocab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("standard dictionary: %d terms; mapping A %d bytes, mapping B %d bytes in memory\n",
+		dict.Len(), mapA.SizeBytes(), mapB.SizeBytes())
+
+	// Renumber each local system's documents through its mapping.
+	ws := textjoin.NewWorkspace()
+	var resumeDocs, jobDocs []*textjoin.Document
+	for i, d := range systemADocs {
+		local := textjoin.NewDocument(uint32(i), d.cells)
+		resumeDocs = append(resumeDocs, mapA.RemapDocument(local))
+	}
+	for i, d := range systemBDocs {
+		local := textjoin.NewDocument(uint32(i), d.cells)
+		jobDocs = append(jobDocs, mapB.RemapDocument(local))
+	}
+
+	resumes, err := ws.NewCollection("resumes", resumeDocs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := ws.NewCollection("jobs", jobDocs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv, err := ws.BuildInvertedFile(resumes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Without the mapping, "database" would be term 501 on one side and
+	// term 8 on the other — every similarity would be garbage. With it,
+	// the join works on comparable numbers.
+	results, _, err := textjoin.Join(textjoin.HVNL,
+		textjoin.Inputs{Outer: jobs, Inner: resumes, InnerInv: inv},
+		textjoin.Options{Lambda: 1, MemoryPages: 100},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbest candidate per position (joined across autonomous systems):")
+	for _, r := range results {
+		title := systemBDocs[r.Outer].title
+		if len(r.Matches) == 0 {
+			fmt.Printf("  %-18s -> no candidate\n", title)
+			continue
+		}
+		m := r.Matches[0]
+		fmt.Printf("  %-18s -> %s (similarity %.0f)\n", title, systemADocs[m.Doc].name, m.Sim)
+	}
+}

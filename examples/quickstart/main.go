@@ -1,0 +1,80 @@
+// Quickstart: build two tiny collections, join them with each algorithm,
+// and let the integrated algorithm pick the cheapest — the minimal tour of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"textjoin"
+)
+
+func main() {
+	// A workspace owns a simulated paged disk (4 KB pages, α = 5).
+	ws := textjoin.NewWorkspace()
+
+	// Documents are term vectors: term number → occurrence count.
+	// Collection C1: the "inner" side that match candidates come from.
+	c1Docs := []*textjoin.Document{
+		textjoin.NewDocument(0, map[uint32]int{1: 2, 5: 1, 9: 3}),
+		textjoin.NewDocument(1, map[uint32]int{2: 1, 5: 2}),
+		textjoin.NewDocument(2, map[uint32]int{1: 1, 2: 1, 9: 1}),
+		textjoin.NewDocument(3, map[uint32]int{7: 4}),
+	}
+	// Collection C2: the "outer" side each of whose documents gets λ
+	// matches.
+	c2Docs := []*textjoin.Document{
+		textjoin.NewDocument(0, map[uint32]int{1: 1, 9: 2}),
+		textjoin.NewDocument(1, map[uint32]int{5: 3, 2: 1}),
+	}
+
+	c1, err := ws.NewCollection("c1", c1Docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2, err := ws.NewCollection("c2", c2Docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// HVNL and VVM need inverted files (with B+trees); HHNL does not.
+	inv1, err := ws.BuildInvertedFile(c1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv2, err := ws.BuildInvertedFile(c2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws.ResetIOStats() // measure only join-time I/O
+
+	in := textjoin.Inputs{Outer: c2, Inner: c1, InnerInv: inv1, OuterInv: inv2}
+	opts := textjoin.Options{Lambda: 2, MemoryPages: 100}
+
+	// All three algorithms compute the same join.
+	for _, alg := range []textjoin.Algorithm{textjoin.HHNL, textjoin.HVNL, textjoin.VVM} {
+		results, stats, err := textjoin.Join(alg, in, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v (I/O cost %.0f):\n", alg, stats.Cost)
+		for _, r := range results {
+			fmt.Printf("  C2 doc %d ->", r.Outer)
+			for _, m := range r.Matches {
+				fmt.Printf(" (C1 doc %d, sim %.0f)", m.Doc, m.Sim)
+			}
+			fmt.Println()
+		}
+	}
+
+	// The integrated algorithm picks the cheapest by estimated cost.
+	_, stats, dec, err := textjoin.JoinIntegrated(in, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("integrated: chose %v and spent %.0f cost units\n", dec.Chosen, stats.Cost)
+	for _, e := range dec.Estimates {
+		fmt.Printf("  estimate %-5v seq=%.1f rand=%.1f\n", e.Algorithm, e.Seq, e.Rand)
+	}
+}

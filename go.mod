@@ -1,0 +1,3 @@
+module textjoin
+
+go 1.22

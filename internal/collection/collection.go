@@ -1,0 +1,597 @@
+// Package collection stores a document collection on a simulated disk
+// exactly as the paper assumes: documents packed tightly in consecutive
+// storage locations in ascending document-number order.
+//
+// Scanning the collection in storage order therefore reads D pages
+// sequentially, while fetching single documents in random order reads
+// ⌈S⌉ pages per document at random-I/O cost — the two access patterns the
+// paper's cost formulas are built from.
+//
+// The package also implements selection subsets: "due to selection
+// conditions on other attributes ... it is possible that only part of the
+// documents in a collection need to participate in a join". A Subset reads
+// its documents by number (random I/O, the paper's Group 3 setting), while
+// Materialize copies a subset into a new, originally small collection
+// (the Group 4 setting).
+package collection
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"textjoin/internal/codec"
+	"textjoin/internal/document"
+	"textjoin/internal/iosim"
+)
+
+// Errors returned by the package.
+var (
+	ErrDocOrder     = errors.New("collection: documents must be added in ascending id order starting at 0")
+	ErrFinished     = errors.New("collection: builder already finished")
+	ErrNotFinished  = errors.New("collection: builder not finished")
+	ErrNoSuchDoc    = errors.New("collection: no such document")
+	ErrDuplicateDoc = errors.New("collection: duplicate document id")
+)
+
+// Stats holds the collection statistics the paper's cost formulas consume.
+type Stats struct {
+	// N is the number of documents.
+	N int64
+	// T is the number of distinct terms.
+	T int64
+	// K is the average number of terms in a document.
+	K float64
+	// TotalCells is Σ over documents of the number of d-cells (N·K).
+	TotalCells int64
+	// Bytes is the tightly packed size in bytes.
+	Bytes int64
+	// S is the average size of a document in pages.
+	S float64
+	// D is the size of the collection in pages (the file size).
+	D int64
+	// PageSize is the page size the sizes are expressed in.
+	PageSize int
+}
+
+// DocRef locates one packed document inside the collection file.
+type DocRef struct {
+	// Off is the byte offset of the document record.
+	Off int64
+	// Len is the packed length in bytes.
+	Len int32
+	// Terms is the number of distinct terms (d-cells) in the document.
+	Terms int32
+}
+
+// Collection is an immutable, fully built document collection.
+type Collection struct {
+	name  string
+	file  *iosim.File
+	refs  []DocRef
+	stats Stats
+	df    map[uint32]int64
+	norms []float64
+}
+
+// Builder accumulates documents into a collection file. Documents must be
+// added in ascending id order starting at 0 (the paper's document numbers
+// are dense within a collection).
+type Builder struct {
+	name     string
+	file     *iosim.File
+	w        *iosim.Writer
+	refs     []DocRef
+	df       map[uint32]int64
+	norms    []float64
+	cells    int64
+	finished bool
+	buf      []byte
+}
+
+// NewBuilder starts building a collection named name in the given empty
+// file.
+func NewBuilder(name string, file *iosim.File) (*Builder, error) {
+	if file.Pages() != 0 {
+		return nil, fmt.Errorf("collection: build target %q is not empty", file.Name())
+	}
+	return &Builder{
+		name: name,
+		file: file,
+		w:    file.Writer(),
+		df:   make(map[uint32]int64),
+	}, nil
+}
+
+// Add appends one document. The document id must equal the number of
+// documents added so far.
+func (b *Builder) Add(d *document.Document) error {
+	if b.finished {
+		return ErrFinished
+	}
+	if d.ID != uint32(len(b.refs)) {
+		return fmt.Errorf("%w: got id %d, want %d", ErrDocOrder, d.ID, len(b.refs))
+	}
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("collection: %v", err)
+	}
+	rec := d.ToRecord()
+	var err error
+	b.buf, err = codec.AppendRecord(b.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	off := b.w.Offset()
+	if _, err := b.w.Write(b.buf); err != nil {
+		return err
+	}
+	b.refs = append(b.refs, DocRef{Off: off, Len: int32(len(b.buf)), Terms: int32(len(d.Cells))})
+	for _, c := range d.Cells {
+		b.df[c.Term]++
+	}
+	b.norms = append(b.norms, d.Norm())
+	b.cells += int64(len(d.Cells))
+	return nil
+}
+
+// Finish flushes the file and returns the immutable collection.
+func (b *Builder) Finish() (*Collection, error) {
+	if b.finished {
+		return nil, ErrFinished
+	}
+	b.finished = true
+	if err := b.w.Flush(); err != nil {
+		return nil, err
+	}
+	n := int64(len(b.refs))
+	stats := Stats{
+		N:          n,
+		T:          int64(len(b.df)),
+		TotalCells: b.cells,
+		Bytes:      b.w.Offset(),
+		D:          b.file.Pages(),
+		PageSize:   b.file.PageSize(),
+	}
+	if n > 0 {
+		stats.K = float64(b.cells) / float64(n)
+		stats.S = float64(stats.Bytes) / float64(n) / float64(stats.PageSize)
+	}
+	return &Collection{
+		name:  b.name,
+		file:  b.file,
+		refs:  b.refs,
+		stats: stats,
+		df:    b.df,
+		norms: b.norms,
+	}, nil
+}
+
+// Open re-attaches to a collection file written earlier (e.g. restored
+// from a disk snapshot), rebuilding the in-memory directory, document
+// frequencies and norms with one sequential scan of expectedDocs packed
+// records. The scan is charged like any other statistics-collection pass;
+// callers that only want join-time I/O should reset the disk statistics
+// afterwards.
+func Open(name string, file *iosim.File, expectedDocs int64) (*Collection, error) {
+	c := &Collection{
+		name:  name,
+		file:  file,
+		df:    make(map[uint32]int64),
+		stats: Stats{PageSize: file.PageSize()},
+	}
+	var buf []byte
+	var nextPage, off int64
+	for id := int64(0); id < expectedDocs; id++ {
+		// Buffer enough bytes for the header, then the whole record.
+		need := int64(codec.DocHeaderSize)
+		for int64(len(buf)) < need {
+			page, err := file.ReadPage(nextPage)
+			if err != nil {
+				return nil, fmt.Errorf("collection %s: doc %d: %w", name, id, err)
+			}
+			nextPage++
+			buf = append(buf, page...)
+		}
+		size, err := codec.PeekRecordSize(buf)
+		if err != nil {
+			return nil, fmt.Errorf("collection %s: doc %d: %w", name, id, err)
+		}
+		for int64(len(buf)) < size {
+			page, err := file.ReadPage(nextPage)
+			if err != nil {
+				return nil, fmt.Errorf("collection %s: doc %d: %w", name, id, err)
+			}
+			nextPage++
+			buf = append(buf, page...)
+		}
+		rec, consumed, err := codec.DecodeRecord(buf)
+		if err != nil {
+			return nil, fmt.Errorf("collection %s: doc %d: %w", name, id, err)
+		}
+		if int64(rec.Number) != id {
+			return nil, fmt.Errorf("collection %s: record %d has id %d (not a collection file?)", name, id, rec.Number)
+		}
+		buf = buf[consumed:]
+		d := document.FromRecord(rec)
+		c.refs = append(c.refs, DocRef{Off: off, Len: int32(consumed), Terms: int32(len(d.Cells))})
+		for _, cell := range d.Cells {
+			c.df[cell.Term]++
+		}
+		c.norms = append(c.norms, d.Norm())
+		c.stats.TotalCells += int64(len(d.Cells))
+		off += consumed
+	}
+	c.stats.N = expectedDocs
+	c.stats.T = int64(len(c.df))
+	c.stats.Bytes = off
+	c.stats.D = file.Pages()
+	if expectedDocs > 0 {
+		c.stats.K = float64(c.stats.TotalCells) / float64(expectedDocs)
+		c.stats.S = float64(off) / float64(expectedDocs) / float64(c.stats.PageSize)
+	}
+	return c, nil
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Stats returns the measured collection statistics.
+func (c *Collection) Stats() Stats { return c.stats }
+
+// NumDocs returns N.
+func (c *Collection) NumDocs() int64 { return c.stats.N }
+
+// File exposes the underlying file (for I/O accounting in tests and for
+// the inverted-file builder).
+func (c *Collection) File() *iosim.File { return c.file }
+
+// Ref returns the storage reference of document id.
+func (c *Collection) Ref(id uint32) (DocRef, error) {
+	if int(id) >= len(c.refs) {
+		return DocRef{}, fmt.Errorf("%w: %d of %d", ErrNoSuchDoc, id, len(c.refs))
+	}
+	return c.refs[id], nil
+}
+
+// DF returns the document frequency of term (paper: "the frequency of a
+// term in a collection [is] the number of documents containing the term").
+func (c *Collection) DF(term uint32) int64 { return c.df[term] }
+
+// DFMap returns the full document-frequency table; callers must not modify
+// it.
+func (c *Collection) DFMap() map[uint32]int64 { return c.df }
+
+// HasTerm reports whether term occurs anywhere in the collection.
+func (c *Collection) HasTerm(term uint32) bool { return c.df[term] > 0 }
+
+// Terms returns all distinct terms in ascending order.
+func (c *Collection) Terms() []uint32 {
+	terms := make([]uint32, 0, len(c.df))
+	for t := range c.df {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+	return terms
+}
+
+// Norm returns the pre-computed Euclidean norm of document id, 0 when the
+// id is out of range.
+func (c *Collection) Norm(id uint32) float64 {
+	if int(id) >= len(c.norms) {
+		return 0
+	}
+	return c.norms[id]
+}
+
+// Norms returns the norm table keyed by document id, for cosine scoring.
+func (c *Collection) Norms() map[uint32]float64 {
+	m := make(map[uint32]float64, len(c.norms))
+	for id, n := range c.norms {
+		m[uint32(id)] = n
+	}
+	return m
+}
+
+// IDFMap returns idf weights for every term, for tf-idf scoring.
+func (c *Collection) IDFMap() map[uint32]float64 {
+	m := make(map[uint32]float64, len(c.df))
+	for term, df := range c.df {
+		m[term] = document.IDF(c.stats.N, df)
+	}
+	return m
+}
+
+// Fetch reads document id with a random access, touching the ⌈S⌉-ish pages
+// the record spans.
+func (c *Collection) Fetch(id uint32) (*document.Document, error) {
+	ref, err := c.Ref(id)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.file.ReadAt(ref.Off, int64(ref.Len))
+	if err != nil {
+		return nil, err
+	}
+	rec, _, err := codec.DecodeRecord(raw)
+	if err != nil {
+		return nil, err
+	}
+	return document.FromRecord(rec), nil
+}
+
+// Scanner iterates documents in storage order, reading every page of the
+// collection exactly once (the paper's sequential scan costing D pages).
+type Scanner struct {
+	c        *Collection
+	nextPage int64
+	buf      []byte
+	next     int // next document id to return
+	err      error
+}
+
+// Scan starts a sequential scan from the first document.
+func (c *Collection) Scan() *Scanner {
+	return &Scanner{c: c}
+}
+
+// Next returns the next document, or io.EOF when the scan is complete.
+func (s *Scanner) Next() (*document.Document, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.next >= len(s.c.refs) {
+		s.err = io.EOF
+		return nil, io.EOF
+	}
+	need := int(s.c.refs[s.next].Len)
+	for len(s.buf) < need {
+		page, err := s.c.file.ReadPage(s.nextPage)
+		if err != nil {
+			s.err = err
+			return nil, err
+		}
+		s.nextPage++
+		s.buf = append(s.buf, page...)
+	}
+	rec, consumed, err := codec.DecodeRecord(s.buf)
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	s.buf = s.buf[consumed:]
+	s.next++
+	return document.FromRecord(rec), nil
+}
+
+// Reader abstracts the document sources a join can consume: a full
+// collection (sequential scan), a selection subset (random fetches) or a
+// memory-resident query batch (no storage at all).
+type Reader interface {
+	// Name identifies the source for diagnostics.
+	Name() string
+	// NumDocs returns the number of documents the source yields.
+	NumDocs() int64
+	// AvgDocBytes returns the average packed document size in bytes.
+	AvgDocBytes() float64
+	// Documents starts a new iteration over the source's documents.
+	Documents() DocIterator
+	// Base returns the underlying collection, or nil for sources that
+	// are not backed by one (memory-resident batches).
+	Base() *Collection
+	// File returns the backing storage file, or nil when the source is
+	// memory-resident.
+	File() *iosim.File
+	// DF returns the document frequency of term over the source's
+	// universe (the base collection for subsets; the batch itself for
+	// memory batches).
+	DF(term uint32) int64
+	// Terms returns the distinct terms of the source's universe in
+	// ascending order.
+	Terms() []uint32
+	// Norms returns pre-computed document norms keyed by document id.
+	Norms() map[uint32]float64
+	// BaseStats returns the statistics governing the source's storage
+	// costs (zero sizes for memory-resident sources).
+	BaseStats() Stats
+}
+
+// DocIterator yields documents until io.EOF.
+type DocIterator interface {
+	Next() (*document.Document, error)
+}
+
+// Collection implements Reader over all its documents.
+var _ Reader = (*Collection)(nil)
+
+// AvgDocBytes returns the average packed document size in bytes.
+func (c *Collection) AvgDocBytes() float64 {
+	if c.stats.N == 0 {
+		return 0
+	}
+	return float64(c.stats.Bytes) / float64(c.stats.N)
+}
+
+// Documents starts a sequential scan (Reader interface).
+func (c *Collection) Documents() DocIterator { return c.Scan() }
+
+// Base returns the collection itself (Reader interface).
+func (c *Collection) Base() *Collection { return c }
+
+// BaseStats returns the collection's statistics (Reader interface).
+func (c *Collection) BaseStats() Stats { return c.stats }
+
+// Subset is a selection result: the documents of a collection whose ids
+// are listed, read in id order by random fetches. It models the paper's
+// Group 3 scenario, where "documents in C2 need to be read in randomly"
+// because the surviving documents of a large collection are scattered.
+type Subset struct {
+	c   *Collection
+	ids []uint32
+}
+
+var _ Reader = (*Subset)(nil)
+
+// Subset creates a selection over the given document ids. The ids are
+// sorted and deduplicated; unknown ids are rejected.
+func (c *Collection) Subset(ids []uint32) (*Subset, error) {
+	sorted := make([]uint32, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	var prev int64 = -1
+	for _, id := range sorted {
+		if int(id) >= len(c.refs) {
+			return nil, fmt.Errorf("%w: %d of %d", ErrNoSuchDoc, id, len(c.refs))
+		}
+		if int64(id) != prev {
+			out = append(out, id)
+		}
+		prev = int64(id)
+	}
+	return &Subset{c: c, ids: out}, nil
+}
+
+// Name identifies the subset.
+func (s *Subset) Name() string { return fmt.Sprintf("%s[%d docs]", s.c.name, len(s.ids)) }
+
+// NumDocs returns the number of selected documents.
+func (s *Subset) NumDocs() int64 { return int64(len(s.ids)) }
+
+// IDs returns the selected document ids in ascending order; callers must
+// not modify the slice.
+func (s *Subset) IDs() []uint32 { return s.ids }
+
+// Base returns the underlying collection.
+func (s *Subset) Base() *Collection { return s.c }
+
+// File returns the underlying collection's file (Reader interface).
+func (s *Subset) File() *iosim.File { return s.c.file }
+
+// DF returns the document frequency of term in the base collection: an IR
+// system keeps the full table regardless of selections.
+func (s *Subset) DF(term uint32) int64 { return s.c.DF(term) }
+
+// Norms returns the base collection's norm table (ids are shared).
+func (s *Subset) Norms() map[uint32]float64 { return s.c.Norms() }
+
+// Terms returns the base collection's distinct terms.
+func (s *Subset) Terms() []uint32 { return s.c.Terms() }
+
+// BaseStats returns the base collection's statistics (Reader interface):
+// storage costs are governed by the original, originally large file.
+func (s *Subset) BaseStats() Stats { return s.c.stats }
+
+// AvgDocBytes returns the average packed size of the selected documents.
+func (s *Subset) AvgDocBytes() float64 {
+	if len(s.ids) == 0 {
+		return 0
+	}
+	var total int64
+	for _, id := range s.ids {
+		total += int64(s.c.refs[id].Len)
+	}
+	return float64(total) / float64(len(s.ids))
+}
+
+// Stats estimates the statistics of the subset viewed as a collection of
+// its own: N and K are measured from the document directory (no I/O), and
+// the number of distinct terms is estimated with the paper's vocabulary
+// growth formula f(m) = T·(1 − (1 − K/T)^m).
+func (s *Subset) Stats() Stats {
+	parent := s.c.stats
+	st := Stats{N: int64(len(s.ids)), PageSize: parent.PageSize}
+	if st.N == 0 {
+		return st
+	}
+	var cells int64
+	var bytes int64
+	for _, id := range s.ids {
+		cells += int64(s.c.refs[id].Terms)
+		bytes += int64(s.c.refs[id].Len)
+	}
+	st.TotalCells = cells
+	st.Bytes = bytes
+	st.K = float64(cells) / float64(st.N)
+	st.S = float64(bytes) / float64(st.N) / float64(st.PageSize)
+	st.D = iosim.PagesForBytes(bytes, st.PageSize)
+	st.T = int64(math.Round(VocabularyGrowth(float64(parent.T), parent.K, float64(st.N))))
+	return st
+}
+
+// Documents iterates the selected documents in id order via random
+// fetches.
+func (s *Subset) Documents() DocIterator {
+	return &subsetIterator{s: s}
+}
+
+type subsetIterator struct {
+	s    *Subset
+	next int
+}
+
+func (it *subsetIterator) Next() (*document.Document, error) {
+	if it.next >= len(it.s.ids) {
+		return nil, io.EOF
+	}
+	id := it.s.ids[it.next]
+	it.next++
+	doc, err := it.s.c.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	// Park the head so the next fetch is again charged as random: the
+	// selected documents are scattered through an originally large file
+	// and the device is assumed to serve other requests in between.
+	it.s.c.file.ParkHead()
+	return doc, nil
+}
+
+// VocabularyGrowth is the paper's estimate of the number of distinct terms
+// in m documents of a collection with T distinct terms and K terms per
+// document: f(m) = T − (1 − K/T)^m · T.
+func VocabularyGrowth(t, k, m float64) float64 {
+	if t <= 0 || m <= 0 {
+		return 0
+	}
+	frac := 1 - k/t
+	if frac < 0 {
+		frac = 0
+	}
+	return t - math.Pow(frac, m)*t
+}
+
+// Materialize copies the documents of src (in iteration order) into a new
+// collection with dense ids 0..n−1 on the given file, returning the new
+// collection and the mapping from new id to original id. This models the
+// paper's Group 4 setting: an ORIGINALLY small collection, stored
+// contiguously and read sequentially, whose inverted file and B+tree are
+// sized by the small collection itself.
+func Materialize(name string, file *iosim.File, src Reader) (*Collection, []uint32, error) {
+	b, err := NewBuilder(name, file)
+	if err != nil {
+		return nil, nil, err
+	}
+	var origIDs []uint32
+	it := src.Documents()
+	for {
+		d, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		origIDs = append(origIDs, d.ID)
+		nd := &document.Document{ID: uint32(len(origIDs) - 1), Cells: d.Cells}
+		if err := b.Add(nd); err != nil {
+			return nil, nil, err
+		}
+	}
+	c, err := b.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, origIDs, nil
+}

@@ -1,0 +1,92 @@
+package collection
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"textjoin/internal/document"
+	"textjoin/internal/iosim"
+)
+
+func TestOpenRebuildsEverything(t *testing.T) {
+	d := iosim.NewDisk(iosim.WithPageSize(64))
+	r := rand.New(rand.NewSource(19))
+	docs := randomDocs(r, 35, 60, 12)
+	c := buildDocs(t, d, "c", docs)
+
+	f, err := d.Open("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open("c", f, c.NumDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.Stats(), reopened.Stats()
+	if a.N != b.N || a.T != b.T || a.TotalCells != b.TotalCells || a.Bytes != b.Bytes || a.D != b.D {
+		t.Errorf("stats differ: %+v vs %+v", a, b)
+	}
+	if math.Abs(a.K-b.K) > 1e-12 || math.Abs(a.S-b.S) > 1e-12 {
+		t.Errorf("derived stats differ: %+v vs %+v", a, b)
+	}
+	for _, term := range c.Terms() {
+		if c.DF(term) != reopened.DF(term) {
+			t.Errorf("df(%d): %d vs %d", term, c.DF(term), reopened.DF(term))
+		}
+	}
+	for id := uint32(0); int64(id) < c.NumDocs(); id++ {
+		if math.Abs(c.Norm(id)-reopened.Norm(id)) > 1e-12 {
+			t.Errorf("norm(%d) differs", id)
+		}
+		orig, err1 := c.Fetch(id)
+		back, err2 := reopened.Fetch(id)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(orig.Cells) != len(back.Cells) {
+			t.Fatalf("doc %d cells differ", id)
+		}
+		for i := range orig.Cells {
+			if orig.Cells[i] != back.Cells[i] {
+				t.Fatalf("doc %d cell %d differs", id, i)
+			}
+		}
+	}
+}
+
+func TestOpenEmpty(t *testing.T) {
+	d := iosim.NewDisk(iosim.WithPageSize(64))
+	c := buildDocs(t, d, "c", nil)
+	f, _ := d.Open("c")
+	reopened, err := Open("c", f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.NumDocs() != 0 || reopened.Stats() != c.Stats() {
+		t.Errorf("reopened empty = %+v", reopened.Stats())
+	}
+}
+
+func TestOpenWrongDocCount(t *testing.T) {
+	d := iosim.NewDisk(iosim.WithPageSize(64))
+	c := buildDocs(t, d, "c", []*document.Document{
+		document.New(0, map[uint32]int{1: 1}),
+		document.New(1, map[uint32]int{2: 1}),
+	})
+	f, _ := d.Open("c")
+	// Asking for more documents than exist must fail (reads past the end
+	// or decodes padding as a wrong-id record).
+	if _, err := Open("c", f, c.NumDocs()+5); err == nil {
+		t.Error("over-count Open: want error")
+	}
+}
+
+func TestOpenNotACollection(t *testing.T) {
+	d := iosim.NewDisk(iosim.WithPageSize(64))
+	f, _ := d.Create("junk")
+	f.AppendPage([]byte{9, 9, 9, 9, 9, 9, 9, 9})
+	if _, err := Open("junk", f, 1); err == nil {
+		t.Error("junk file: want error")
+	}
+}

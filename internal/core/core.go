@@ -1,0 +1,258 @@
+// Package core implements the paper's three algorithms for processing
+// joins between textual attributes, plus the integrated algorithm that
+// picks among them by estimated cost.
+//
+// The join evaluated is
+//
+//	C1 SIMILAR_TO(λ) C2
+//
+// find, for each document of the outer collection C2, the λ documents of
+// the inner collection C1 with the largest similarities. The three
+// algorithms differ in which representations they consume:
+//
+//   - HHNL (Horizontal–Horizontal Nested Loop) reads raw documents from
+//     both collections.
+//   - HVNL (Horizontal–Vertical Nested Loop) reads documents from C2 and
+//     probes the inverted file on C1 through its B+tree, caching entries.
+//   - VVM (Vertical–Vertical Merge) merge-scans the inverted files of both
+//     collections, partitioning the outer collection into ⌈SM/M⌉ ranges
+//     when the similarity accumulator exceeds memory.
+//
+// All three produce identical results (the same λ matches per outer
+// document, deterministically tie-broken), which the test suite verifies
+// by property testing.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"textjoin/internal/collection"
+	"textjoin/internal/document"
+	"textjoin/internal/entrycache"
+	"textjoin/internal/invfile"
+	"textjoin/internal/iosim"
+	"textjoin/internal/topk"
+)
+
+// Algorithm identifies one of the paper's join algorithms.
+type Algorithm int
+
+const (
+	// HHNL is the Horizontal–Horizontal Nested Loop of Section 4.1.
+	HHNL Algorithm = iota
+	// HVNL is the Horizontal–Vertical Nested Loop of Section 4.2.
+	HVNL
+	// VVM is the Vertical–Vertical Merge of Section 4.3.
+	VVM
+)
+
+// String names the algorithm as in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case HHNL:
+		return "HHNL"
+	case HVNL:
+		return "HVNL"
+	case VVM:
+		return "VVM"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a flag string to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "hhnl", "HHNL":
+		return HHNL, nil
+	case "hvnl", "HVNL":
+		return HVNL, nil
+	case "vvm", "VVM":
+		return VVM, nil
+	}
+	return HHNL, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// Errors returned by the join algorithms.
+var (
+	// ErrInsufficientMemory is returned when the memory budget cannot
+	// hold even the minimal working set of an algorithm.
+	ErrInsufficientMemory = errors.New("core: memory budget too small")
+	// ErrMissingInput is returned when an algorithm lacks a required
+	// input (e.g. VVM without both inverted files).
+	ErrMissingInput = errors.New("core: missing input")
+)
+
+// Match is one (inner document, similarity) pair.
+type Match = topk.Match
+
+// Result holds the λ best inner matches of one outer document, best
+// first. Outer documents with no non-zero similarity still appear, with an
+// empty match list, so that len(results) always equals the number of outer
+// documents.
+type Result struct {
+	Outer   uint32
+	Matches []Match
+}
+
+// Options configures a join run.
+type Options struct {
+	// Lambda is λ: how many inner documents to return per outer
+	// document. Defaults to 20, the paper's base value.
+	Lambda int
+	// MemoryPages is B: the buffer budget in pages. Defaults to 10000,
+	// the paper's base value.
+	MemoryPages int64
+	// Weighting selects the similarity function (raw occurrence dot
+	// product by default, as in the paper's analysis).
+	Weighting document.Weighting
+	// Delta is δ: the estimated fraction of non-zero similarities, used
+	// to size HVNL's accumulator reservation and VVM's partitions.
+	// Defaults to 0.1, the paper's base value.
+	Delta float64
+	// Backward runs HHNL in backward order (C1 outer): an extension the
+	// paper mentions and defers to the technical report.
+	Backward bool
+	// CachePolicy selects HVNL's entry replacement policy. The default
+	// is the paper's MinOuterDF.
+	CachePolicy entrycache.Policy
+}
+
+// withDefaults fills in the paper's base values.
+func (o Options) withDefaults() Options {
+	if o.Lambda == 0 {
+		o.Lambda = 20
+	}
+	if o.MemoryPages == 0 {
+		o.MemoryPages = 10000
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.1
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Lambda < 0 || o.MemoryPages < 0 || o.Delta < 0 || o.Delta > 1 {
+		return fmt.Errorf("core: invalid options %+v", o)
+	}
+	return nil
+}
+
+// Stats reports what a join run did.
+type Stats struct {
+	// Algorithm that produced the results.
+	Algorithm Algorithm
+	// OuterDocs and InnerDocs are the document counts seen.
+	OuterDocs, InnerDocs int64
+	// Comparisons counts full document-pair similarity computations
+	// (HHNL only).
+	Comparisons int64
+	// Accumulations counts cell-product accumulations (HVNL and VVM).
+	Accumulations int64
+	// EntryFetches counts inverted-file entries read from storage
+	// (HVNL).
+	EntryFetches int64
+	// Passes counts outer blocks (HHNL) or partitions (VVM).
+	Passes int
+	// IO is the page I/O performed by the join across the files it
+	// touched.
+	IO iosim.Stats
+	// Cost is IO priced at the disk's α.
+	Cost float64
+	// Cache reports HVNL's entry-cache effectiveness.
+	Cache entrycache.Stats
+	// PeakMemoryBytes is the maximum working-set estimate observed.
+	PeakMemoryBytes int64
+}
+
+// Inputs bundles the representations available to the join. Every
+// algorithm uses a subset:
+//
+//	HHNL: Outer, Inner
+//	HVNL: Outer, Inner (statistics), InnerInv
+//	VVM:  InnerInv, OuterInv, and Outer only to restrict a selection
+type Inputs struct {
+	// Outer is the C2 side: a full collection or a selection subset.
+	Outer collection.Reader
+	// Inner is the C1 side collection.
+	Inner *collection.Collection
+	// InnerInv is the inverted file on C1.
+	InnerInv *invfile.InvertedFile
+	// OuterInv is the inverted file on C2's base collection.
+	OuterInv *invfile.InvertedFile
+}
+
+// scorer builds the scorer implied by the options.
+func (in Inputs) scorer(o Options) (*document.Scorer, error) {
+	switch o.Weighting {
+	case document.RawTF:
+		return document.NewScorer(document.RawTF, nil, nil, nil)
+	case document.Cosine:
+		if in.Inner == nil || in.Outer == nil {
+			return nil, fmt.Errorf("%w: cosine weighting needs both collections", ErrMissingInput)
+		}
+		return document.NewScorer(document.Cosine, nil, in.Outer.Norms(), in.Inner.Norms())
+	case document.TFIDF:
+		if in.Inner == nil {
+			return nil, fmt.Errorf("%w: tfidf weighting needs the inner collection", ErrMissingInput)
+		}
+		return document.NewScorer(document.TFIDF, in.Inner.IDFMap(), nil, nil)
+	default:
+		return nil, fmt.Errorf("core: unknown weighting %v", o.Weighting)
+	}
+}
+
+// ioTracker snapshots per-file counters so a join can report exactly its
+// own I/O even when several structures share a disk.
+type ioTracker struct {
+	files  []*iosim.File
+	before []iosim.Stats
+}
+
+func trackIO(files ...*iosim.File) *ioTracker {
+	t := &ioTracker{}
+	seen := make(map[*iosim.File]bool)
+	for _, f := range files {
+		if f == nil || seen[f] {
+			continue
+		}
+		seen[f] = true
+		t.files = append(t.files, f)
+		t.before = append(t.before, f.Stats())
+	}
+	return t
+}
+
+func (t *ioTracker) delta() iosim.Stats {
+	var total iosim.Stats
+	for i, f := range t.files {
+		total.Add(f.Stats().Sub(t.before[i]))
+	}
+	return total
+}
+
+// alpha returns the cost ratio of the disk backing the first non-nil file.
+func alpha(files ...*iosim.File) float64 {
+	for _, f := range files {
+		if f != nil {
+			return f.Disk().Alpha()
+		}
+	}
+	return iosim.DefaultAlpha
+}
+
+// Join runs the given algorithm.
+func Join(alg Algorithm, in Inputs, opts Options) ([]Result, *Stats, error) {
+	switch alg {
+	case HHNL:
+		return JoinHHNL(in, opts)
+	case HVNL:
+		return JoinHVNL(in, opts)
+	case VVM:
+		return JoinVVM(in, opts)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown algorithm %v", alg)
+	}
+}

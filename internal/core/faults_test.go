@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"textjoin/internal/iosim"
+)
+
+// Every join algorithm must propagate storage errors instead of masking
+// them or returning partial results.
+func TestJoinsPropagateStorageFaults(t *testing.T) {
+	for _, alg := range []Algorithm{HHNL, HVNL, VVM} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			e := buildEnv(t, 31, 20, 20, 40, 10, 128)
+			// Fail the 10th read of any file once the join starts.
+			e.disk.InjectFaults(iosim.FaultPlan{FailAfterReads: 10, Repeat: true})
+			res, _, err := Join(alg, e.inputs(), Options{Lambda: 3, MemoryPages: 100})
+			if !errors.Is(err, iosim.ErrInjected) {
+				t.Fatalf("err = %v, want ErrInjected", err)
+			}
+			if res != nil {
+				t.Errorf("partial results returned alongside error")
+			}
+		})
+	}
+}
+
+func TestBackwardHHNLPropagatesFaults(t *testing.T) {
+	e := buildEnv(t, 32, 20, 20, 40, 10, 128)
+	e.disk.InjectFaults(iosim.FaultPlan{FailAfterReads: 5, Repeat: true})
+	_, _, err := JoinHHNL(e.inputs(), Options{Lambda: 3, MemoryPages: 100, Backward: true})
+	if !errors.Is(err, iosim.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestHVNLPropagatesBTreeFaults(t *testing.T) {
+	e := buildEnv(t, 33, 20, 20, 40, 10, 128)
+	// Fail reads of the B+tree file specifically: LoadIndex must fail.
+	e.disk.InjectFaults(iosim.FaultPlan{FailFile: "c1.bt", Repeat: true})
+	_, _, err := JoinHVNL(e.inputs(), Options{Lambda: 3, MemoryPages: 100})
+	if !errors.Is(err, iosim.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestVVMPropagatesSecondFileFaults(t *testing.T) {
+	e := buildEnv(t, 34, 20, 20, 40, 10, 128)
+	e.disk.InjectFaults(iosim.FaultPlan{FailFile: "c2.inv", FailAfterReads: 1, Repeat: true})
+	_, _, err := JoinVVM(e.inputs(), Options{Lambda: 3, MemoryPages: 100})
+	if !errors.Is(err, iosim.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+// A fault that fires during one run must not poison a later run after the
+// plan is disarmed (no hidden state in the algorithms).
+func TestJoinRecoversAfterDisarm(t *testing.T) {
+	e := buildEnv(t, 35, 15, 15, 30, 8, 128)
+	e.disk.InjectFaults(iosim.FaultPlan{FailAfterReads: 3, Repeat: true})
+	if _, _, err := JoinHHNL(e.inputs(), Options{Lambda: 3, MemoryPages: 100}); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	e.disk.InjectFaults(iosim.FaultPlan{})
+	res, _, err := JoinHHNL(e.inputs(), Options{Lambda: 3, MemoryPages: 100})
+	if err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+	want := reference(t, e.c2, e.c1, 3, rawScorer(t))
+	if err := sameResults(res, want); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"textjoin/internal/document"
+	"textjoin/internal/iosim"
+	"textjoin/internal/topk"
+)
+
+// JoinHHNL evaluates the join with the Horizontal–Horizontal Nested Loop
+// of Section 4.1: read the next X documents of C2 into memory, scan C1,
+// and while a C1 document is in memory compute its similarity with every
+// resident C2 document, tracking the λ largest similarities per C2
+// document.
+//
+// The batch size X follows the paper's memory policy "letting the outer
+// collection use as much memory space as possible":
+//
+//	X = (B − ⌈S1⌉) / (S2 + 4λ/P)
+//
+// realized in exact bytes: ⌈S1⌉ pages are reserved to hold one inner
+// document, and each outer document charges its packed size plus 4λ bytes
+// for its similarity slots.
+//
+// With Options.Backward the loop order flips (an extension the paper
+// defers to the technical report): blocks of C1 are held in memory while
+// C2 is scanned once per block, with all C2 trackers kept across blocks.
+func JoinHHNL(in Inputs, opts Options) ([]Result, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if in.Outer == nil || in.Inner == nil {
+		return nil, nil, fmt.Errorf("%w: HHNL needs both document collections", ErrMissingInput)
+	}
+	scorer, err := in.scorer(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Backward {
+		return hhnlBackward(in, opts, scorer)
+	}
+	return hhnlForward(in, opts, scorer)
+}
+
+// hhnlBatchBytes returns the outer-batch byte budget and the per-document
+// overhead for the λ similarity slots.
+func hhnlBatchBytes(in Inputs, opts Options) (budget int64, slotBytes int64, err error) {
+	pageSize := int64(in.Inner.File().PageSize())
+	total := opts.MemoryPages * pageSize
+	// Reserve ⌈S1⌉ pages for the resident inner document.
+	reserve := iosim.PagesForBytes(int64(in.Inner.AvgDocBytes()+0.999), int(pageSize)) * pageSize
+	if reserve == 0 {
+		reserve = pageSize
+	}
+	budget = total - reserve
+	slotBytes = 4 * int64(opts.Lambda)
+	if budget <= 0 {
+		return 0, 0, fmt.Errorf("%w: B=%d pages cannot hold one inner document (%d bytes reserved)",
+			ErrInsufficientMemory, opts.MemoryPages, reserve)
+	}
+	return budget, slotBytes, nil
+}
+
+func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *Stats, error) {
+	stats := &Stats{Algorithm: HHNL, InnerDocs: in.Inner.NumDocs()}
+	budget, slotBytes, err := hhnlBatchBytes(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	track := trackIO(in.Outer.File(), in.Inner.File())
+
+	var results []Result
+	outer := in.Outer.Documents()
+	var pending *document.Document // first doc of the next batch, already read
+	done := false
+	for !done {
+		// Fill the next batch of outer documents within the budget.
+		var batch []*document.Document
+		var used int64
+		for {
+			var d *document.Document
+			if pending != nil {
+				d, pending = pending, nil
+			} else {
+				var err error
+				d, err = outer.Next()
+				if err == io.EOF {
+					done = true
+					break
+				}
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			cost := d.EncodedSize() + slotBytes
+			if used+cost > budget && len(batch) > 0 {
+				pending = d
+				break
+			}
+			if used+cost > budget {
+				return nil, nil, fmt.Errorf("%w: outer document %d (%d bytes) exceeds the batch budget %d",
+					ErrInsufficientMemory, d.ID, cost, budget)
+			}
+			batch = append(batch, d)
+			used += cost
+		}
+		if len(batch) == 0 {
+			break
+		}
+		stats.Passes++
+		if used > stats.PeakMemoryBytes {
+			stats.PeakMemoryBytes = used
+		}
+		stats.OuterDocs += int64(len(batch))
+
+		trackers := make([]*topk.TopK, len(batch))
+		for i := range trackers {
+			trackers[i] = topk.New(opts.Lambda)
+		}
+		// One full scan of the inner collection per batch.
+		inner := in.Inner.Scan()
+		for {
+			d1, err := inner.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			for i, d2 := range batch {
+				sim := scorer.Score(d2, d1)
+				stats.Comparisons++
+				trackers[i].Offer(d1.ID, sim)
+			}
+		}
+		for i, d2 := range batch {
+			results = append(results, Result{Outer: d2.ID, Matches: trackers[i].Results()})
+		}
+	}
+	stats.IO = track.delta()
+	stats.Cost = stats.IO.Cost(alpha(in.Inner.File()))
+	return results, stats, nil
+}
+
+func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *Stats, error) {
+	stats := &Stats{Algorithm: HHNL, InnerDocs: in.Inner.NumDocs()}
+	// Swap roles for batch sizing: blocks of C1 are resident, one C2
+	// document at a time streams past, and every C2 document keeps a λ
+	// tracker alive for the whole join.
+	pageSize := int64(in.Inner.File().PageSize())
+	total := opts.MemoryPages * pageSize
+	reserve := iosim.PagesForBytes(int64(in.Outer.AvgDocBytes()+0.999), int(pageSize)) * pageSize
+	if reserve == 0 {
+		reserve = pageSize
+	}
+	trackerBytes := 4 * int64(opts.Lambda) * in.Outer.NumDocs()
+	budget := total - reserve - trackerBytes
+	if budget <= 0 {
+		return nil, nil, fmt.Errorf("%w: B=%d pages cannot hold the %d outer trackers plus one outer document",
+			ErrInsufficientMemory, opts.MemoryPages, in.Outer.NumDocs())
+	}
+	track := trackIO(in.Outer.File(), in.Inner.File())
+
+	trackers := make(map[uint32]*topk.TopK)
+	var order []uint32
+	inner := in.Inner.Scan()
+	var pending *document.Document
+	done := false
+	firstPass := true
+	for !done {
+		var batch []*document.Document
+		var used int64
+		for {
+			var d *document.Document
+			if pending != nil {
+				d, pending = pending, nil
+			} else {
+				var err error
+				d, err = inner.Next()
+				if err == io.EOF {
+					done = true
+					break
+				}
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			cost := d.EncodedSize()
+			if used+cost > budget && len(batch) > 0 {
+				pending = d
+				break
+			}
+			if used+cost > budget {
+				return nil, nil, fmt.Errorf("%w: inner document %d (%d bytes) exceeds the batch budget %d",
+					ErrInsufficientMemory, d.ID, cost, budget)
+			}
+			batch = append(batch, d)
+			used += cost
+		}
+		if len(batch) == 0 {
+			break
+		}
+		stats.Passes++
+		if used+trackerBytes > stats.PeakMemoryBytes {
+			stats.PeakMemoryBytes = used + trackerBytes
+		}
+
+		outerIt := in.Outer.Documents()
+		for {
+			d2, err := outerIt.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			tk := trackers[d2.ID]
+			if tk == nil {
+				tk = topk.New(opts.Lambda)
+				trackers[d2.ID] = tk
+				order = append(order, d2.ID)
+			}
+			if firstPass {
+				stats.OuterDocs++
+			}
+			for _, d1 := range batch {
+				sim := scorer.Score(d2, d1)
+				stats.Comparisons++
+				tk.Offer(d1.ID, sim)
+			}
+		}
+		firstPass = false
+	}
+	if stats.Passes == 0 {
+		// Empty inner collection: every outer document still yields a
+		// result row, with no matches.
+		outerIt := in.Outer.Documents()
+		for {
+			d2, err := outerIt.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			order = append(order, d2.ID)
+			trackers[d2.ID] = topk.New(opts.Lambda)
+			stats.OuterDocs++
+		}
+	}
+	results := make([]Result, 0, len(order))
+	for _, id := range order {
+		results = append(results, Result{Outer: id, Matches: trackers[id].Results()})
+	}
+	stats.IO = track.delta()
+	stats.Cost = stats.IO.Cost(alpha(in.Inner.File()))
+	return results, stats, nil
+}

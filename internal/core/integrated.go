@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"textjoin/internal/collection"
+	"textjoin/internal/costmodel"
+	"textjoin/internal/stats"
+)
+
+// ModelInput derives the cost-model description of a join from measured
+// structures: C2's participating statistics come from the outer reader
+// (subset statistics when a selection applies), while the inverted-file
+// statistics stay at the base collections' values — the paper's point that
+// inverted files do not shrink under selections.
+func ModelInput(in Inputs) (costmodel.Input, error) {
+	if in.Outer == nil || in.Inner == nil {
+		return costmodel.Input{}, fmt.Errorf("%w: cost model needs both collections", ErrMissingInput)
+	}
+	c1 := in.Inner.Stats()
+	mi := costmodel.Input{
+		C1:      costmodel.Collection{N: c1.N, K: c1.K, T: c1.T},
+		InvOnC1: costmodel.Collection{N: c1.N, K: c1.K, T: c1.T},
+	}
+	base := in.Outer.BaseStats()
+	mi.InvOnC2 = costmodel.Collection{N: base.N, K: base.K, T: base.T}
+	switch o := in.Outer.(type) {
+	case *collection.Subset:
+		st := o.Stats()
+		mi.C2 = costmodel.Collection{N: st.N, K: st.K, T: st.T}
+		mi.C2Random = true
+	default:
+		mi.C2 = mi.InvOnC2
+	}
+	// Measure q exactly from the memory-resident document-frequency
+	// tables rather than using the simulation's three-band formula: the
+	// planner has the real structures at hand.
+	mi.Q = stats.OverlapQReader(in.Inner, in.Outer)
+	return mi, nil
+}
+
+// ModelSystem derives the cost-model system parameters from the disk
+// backing the inner collection and the memory budget in the options.
+func ModelSystem(in Inputs, opts Options) costmodel.System {
+	opts = opts.withDefaults()
+	sys := costmodel.System{B: opts.MemoryPages, P: 4096, Alpha: 5}
+	if in.Inner != nil {
+		f := in.Inner.File()
+		sys.P = int64(f.PageSize())
+		sys.Alpha = f.Disk().Alpha()
+	}
+	return sys
+}
+
+// Decision records why the integrated algorithm picked what it picked.
+type Decision struct {
+	Chosen    Algorithm
+	Estimates []costmodel.Estimate
+}
+
+// Choose runs only the selection step of the integrated algorithm: it
+// estimates all three costs from the inputs' measured statistics and
+// returns the cheapest runnable algorithm.
+func Choose(in Inputs, opts Options) (Decision, error) {
+	opts = opts.withDefaults()
+	mi, err := ModelInput(in)
+	if err != nil {
+		return Decision{}, err
+	}
+	sys := ModelSystem(in, opts)
+	q := costmodel.Query{Lambda: int64(opts.Lambda), Delta: opts.Delta}
+	_, ests := costmodel.Choose(mi, sys, q)
+	dec := Decision{Estimates: ests}
+	// Pick the cheapest algorithm whose structures are actually present:
+	// HVNL needs the inner inverted file; VVM needs both inverted files
+	// and a stored (not memory-resident) outer collection.
+	available := func(a costmodel.Algorithm) bool {
+		switch a {
+		case costmodel.AlgHVNL:
+			return in.InnerInv != nil
+		case costmodel.AlgVVM:
+			return in.InnerInv != nil && in.OuterInv != nil && in.Outer.Base() != nil
+		default:
+			return true
+		}
+	}
+	best := costmodel.AlgHHNL
+	bestCost := ests[0].Seq
+	for _, e := range ests {
+		if !available(e.Algorithm) {
+			continue
+		}
+		if e.Seq < bestCost || (e.Algorithm == costmodel.AlgHHNL && e.Seq == bestCost) {
+			best = e.Algorithm
+			bestCost = e.Seq
+		}
+	}
+	switch best {
+	case costmodel.AlgHHNL:
+		dec.Chosen = HHNL
+	case costmodel.AlgHVNL:
+		dec.Chosen = HVNL
+	case costmodel.AlgVVM:
+		dec.Chosen = VVM
+	}
+	return dec, nil
+}
+
+// JoinIntegrated implements the paper's integrated algorithm: estimate the
+// cost of each basic algorithm from the collection statistics, system
+// parameters and query parameters, then run the one with the lowest
+// estimated cost.
+func JoinIntegrated(in Inputs, opts Options) ([]Result, *Stats, Decision, error) {
+	dec, err := Choose(in, opts)
+	if err != nil {
+		return nil, nil, dec, err
+	}
+	results, stats, err := Join(dec.Chosen, in, opts)
+	return results, stats, dec, err
+}

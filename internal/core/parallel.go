@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"textjoin/internal/document"
+	"textjoin/internal/invfile"
+	"textjoin/internal/topk"
+)
+
+// The paper's concluding remarks list "(3) develop algorithms that
+// process textual joins in parallel" as further study. This file
+// implements shared-memory parallel variants of HHNL and VVM.
+//
+// The parallelization deliberately leaves all storage access on a single
+// goroutine: the paper's cost model is about page I/O, and interleaving
+// concurrent readers would corrupt the sequential/random classification
+// (and model a different device). What parallelizes is the CPU side —
+// similarity computation and accumulation — which the paper excludes from
+// its cost model but which dominates wall-clock time in memory-resident
+// runs. Results are identical to the serial algorithms: each worker
+// produces candidates for disjoint document pairs, and the top-λ merge of
+// disjoint candidate sets equals the global top-λ.
+
+// resolveWorkers maps an Options worker count to an effective one.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// JoinHHNLParallel is HHNL (forward order) with the similarity
+// computation fanned out over workers. The outer batch is loaded and the
+// inner collection scanned exactly as in the serial algorithm (same I/O,
+// same batches); chunks of scanned inner documents are handed to a worker
+// pool, each worker scoring them against the whole resident batch into
+// its own trackers, merged per batch.
+func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.Backward {
+		return nil, nil, fmt.Errorf("core: parallel HHNL supports forward order only")
+	}
+	if in.Outer == nil || in.Inner == nil {
+		return nil, nil, fmt.Errorf("%w: HHNL needs both document collections", ErrMissingInput)
+	}
+	scorer, err := in.scorer(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	nWorkers := resolveWorkers(workers)
+	stats := &Stats{Algorithm: HHNL, InnerDocs: in.Inner.NumDocs()}
+	budget, slotBytes, err := hhnlBatchBytes(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	track := trackIO(in.Outer.File(), in.Inner.File())
+
+	const chunkSize = 64
+
+	var results []Result
+	outer := in.Outer.Documents()
+	var pending *document.Document
+	done := false
+	for !done {
+		var batch []*document.Document
+		var used int64
+		for {
+			var d *document.Document
+			if pending != nil {
+				d, pending = pending, nil
+			} else {
+				var err error
+				d, err = outer.Next()
+				if err == io.EOF {
+					done = true
+					break
+				}
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			cost := d.EncodedSize() + slotBytes
+			if used+cost > budget && len(batch) > 0 {
+				pending = d
+				break
+			}
+			if used+cost > budget {
+				return nil, nil, fmt.Errorf("%w: outer document %d (%d bytes) exceeds the batch budget %d",
+					ErrInsufficientMemory, d.ID, cost, budget)
+			}
+			batch = append(batch, d)
+			used += cost
+		}
+		if len(batch) == 0 {
+			break
+		}
+		stats.Passes++
+		stats.OuterDocs += int64(len(batch))
+		if used > stats.PeakMemoryBytes {
+			stats.PeakMemoryBytes = used
+		}
+
+		// Per-worker tracker sets: workers see disjoint inner chunks, so
+		// merging their kept matches reproduces the global top-λ.
+		workerTrackers := make([][]*topk.TopK, nWorkers)
+		for w := range workerTrackers {
+			ts := make([]*topk.TopK, len(batch))
+			for i := range ts {
+				ts[i] = topk.New(opts.Lambda)
+			}
+			workerTrackers[w] = ts
+		}
+		compCounts := make([]int64, nWorkers)
+
+		chunks := make(chan []*document.Document, nWorkers)
+		var wg sync.WaitGroup
+		for w := 0; w < nWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ts := workerTrackers[w]
+				for chunk := range chunks {
+					for _, d1 := range chunk {
+						for i, d2 := range batch {
+							ts[i].Offer(d1.ID, scorer.Score(d2, d1))
+							compCounts[w]++
+						}
+					}
+				}
+			}(w)
+		}
+
+		// Single-threaded sequential scan of the inner collection.
+		var scanErr error
+		inner := in.Inner.Scan()
+		chunk := make([]*document.Document, 0, chunkSize)
+		for {
+			d1, err := inner.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				scanErr = err
+				break
+			}
+			chunk = append(chunk, d1)
+			if len(chunk) == chunkSize {
+				chunks <- chunk
+				chunk = make([]*document.Document, 0, chunkSize)
+			}
+		}
+		if len(chunk) > 0 && scanErr == nil {
+			chunks <- chunk
+		}
+		close(chunks)
+		wg.Wait()
+		if scanErr != nil {
+			return nil, nil, scanErr
+		}
+
+		for i, d2 := range batch {
+			merged := topk.New(opts.Lambda)
+			for w := 0; w < nWorkers; w++ {
+				for _, m := range workerTrackers[w][i].Results() {
+					merged.Offer(m.Doc, m.Sim)
+				}
+			}
+			results = append(results, Result{Outer: d2.ID, Matches: merged.Results()})
+		}
+		for _, c := range compCounts {
+			stats.Comparisons += c
+		}
+	}
+	stats.IO = track.delta()
+	stats.Cost = stats.IO.Cost(alpha(in.Inner.File()))
+	return results, stats, nil
+}
+
+// JoinVVMParallel is VVM with the per-term accumulation fanned out:
+// worker w owns the outer documents with id ≡ w (mod workers), the merge
+// scan stays single-threaded (one sequential sweep of each inverted file
+// per pass, exactly as serial VVM), and each common-term entry pair is
+// broadcast to all workers, which accumulate only their own outer
+// documents. Partitioning (⌈SM/M⌉ passes) is unchanged.
+func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if in.InnerInv == nil || in.OuterInv == nil || in.Outer == nil || in.Inner == nil {
+		return nil, nil, fmt.Errorf("%w: VVM needs both inverted files and both collections' statistics", ErrMissingInput)
+	}
+	// Run the serial partitioning logic by reusing JoinVVM for the
+	// degenerate single-worker case.
+	nWorkers := resolveWorkers(workers)
+	if nWorkers == 1 {
+		return JoinVVM(in, opts)
+	}
+	scorer, err := in.scorer(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	outerIDs, passes, stats, track, err := vvmPlan(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	type termWork struct {
+		factor float64
+		e1, e2 *invfile.Entry
+	}
+
+	var results []Result
+	for p := 0; p < passes; p++ {
+		lo := p * len(outerIDs) / passes
+		hi := (p + 1) * len(outerIDs) / passes
+		rangeIDs := outerIDs[lo:hi]
+		if len(rangeIDs) == 0 {
+			continue
+		}
+		stats.Passes++
+
+		inRange := make(map[uint32]int, len(rangeIDs)) // outer id -> owning worker
+		for i, id := range rangeIDs {
+			inRange[id] = i % nWorkers
+		}
+
+		accs := make([]map[uint64]float64, nWorkers)
+		chans := make([]chan termWork, nWorkers)
+		var wg sync.WaitGroup
+		accCounts := make([]int64, nWorkers)
+		for w := 0; w < nWorkers; w++ {
+			accs[w] = make(map[uint64]float64)
+			chans[w] = make(chan termWork, 128)
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				acc := accs[w]
+				for tw := range chans[w] {
+					for _, c2 := range tw.e2.Cells {
+						owner, ok := inRange[c2.Number]
+						if !ok || owner != w {
+							continue
+						}
+						v := float64(c2.Weight) * tw.factor
+						base := uint64(c2.Number) << 32
+						for _, c1 := range tw.e1.Cells {
+							acc[base|uint64(c1.Number)] += float64(c1.Weight) * v
+							accCounts[w]++
+						}
+					}
+				}
+			}(w)
+		}
+
+		scanErr := mergeScan(in.InnerInv, in.OuterInv, func(term uint32, e1, e2 *invfile.Entry) {
+			factor := scorer.TermFactor(term)
+			if factor == 0 {
+				return
+			}
+			tw := termWork{factor: factor, e1: e1, e2: e2}
+			for w := 0; w < nWorkers; w++ {
+				chans[w] <- tw
+			}
+		})
+		for w := 0; w < nWorkers; w++ {
+			close(chans[w])
+		}
+		wg.Wait()
+		if scanErr != nil {
+			return nil, nil, scanErr
+		}
+		for _, c := range accCounts {
+			stats.Accumulations += c
+		}
+
+		perOuter := make(map[uint32]*topk.TopK, len(rangeIDs))
+		var memBytes int64
+		for _, acc := range accs {
+			memBytes += int64(len(acc)) * 12
+			for key, raw := range acc {
+				outerDoc := uint32(key >> 32)
+				innerDoc := uint32(key & 0xffffffff)
+				tk := perOuter[outerDoc]
+				if tk == nil {
+					tk = topk.New(opts.Lambda)
+					perOuter[outerDoc] = tk
+				}
+				tk.Offer(innerDoc, scorer.Finalize(outerDoc, innerDoc, raw))
+			}
+		}
+		if memBytes > stats.PeakMemoryBytes {
+			stats.PeakMemoryBytes = memBytes
+		}
+		for _, id := range sortedCopy(rangeIDs) {
+			var matches []Match
+			if tk := perOuter[id]; tk != nil {
+				matches = tk.Results()
+			}
+			results = append(results, Result{Outer: id, Matches: matches})
+		}
+	}
+	stats.IO = track.delta()
+	stats.Cost = stats.IO.Cost(alpha(in.InnerInv.File()))
+	return results, stats, nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"textjoin/internal/collection"
+	"textjoin/internal/invfile"
+	"textjoin/internal/iosim"
+	"textjoin/internal/topk"
+)
+
+// JoinVVM evaluates the join with the Vertical–Vertical Merge of Section
+// 4.3: scan the inverted files on both collections in parallel (they are
+// stored in ascending term-number order, so one scan of each suffices,
+// "very much like the merge phase of sort merge") and, whenever two
+// entries carry the same term, accumulate u·v into the similarity of every
+// document pair the two entries span.
+//
+// The memory needed for intermediate similarities is proportional to
+// N1·N2; following the paper's extension, when the estimated accumulator
+// size SM = 4·δ·N1·N2 bytes exceeds the available memory
+// M = (B − ⌈J1⌉ − ⌈J2⌉)·P, the outer collection is divided into ⌈SM/M⌉
+// ranges and both inverted files are re-scanned once per range.
+//
+// When Inputs.Outer is a selection subset, only i-cells of its documents
+// accumulate — but the inverted files are still scanned in full, the
+// paper's point that "the sizes of the inverted files will remain the same
+// even if the number of documents ... can be reduced by a selection".
+func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if in.InnerInv == nil || in.OuterInv == nil || in.Outer == nil || in.Inner == nil {
+		return nil, nil, fmt.Errorf("%w: VVM needs both inverted files and both collections' statistics", ErrMissingInput)
+	}
+	if in.Outer.Base() == nil {
+		// A memory-resident query batch has no inverted file — the
+		// paper's point that "the availability of inverted files means
+		// the applicability of certain algorithms".
+		return nil, nil, fmt.Errorf("%w: VVM needs a stored outer collection, not a query batch", ErrMissingInput)
+	}
+	scorer, err := in.scorer(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	outerIDs, passes, stats, track, err := vvmPlan(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var results []Result
+	acc := make(map[uint64]float64)
+	for p := 0; p < passes; p++ {
+		lo := p * len(outerIDs) / passes
+		hi := (p + 1) * len(outerIDs) / passes
+		rangeIDs := outerIDs[lo:hi]
+		if len(rangeIDs) == 0 {
+			continue
+		}
+		inRange := make(map[uint32]bool, len(rangeIDs))
+		for _, id := range rangeIDs {
+			inRange[id] = true
+		}
+		stats.Passes++
+
+		if err := mergeScan(in.InnerInv, in.OuterInv, func(term uint32, e1, e2 *invfile.Entry) {
+			factor := scorer.TermFactor(term)
+			if factor == 0 {
+				return
+			}
+			for _, c2 := range e2.Cells {
+				if !inRange[c2.Number] {
+					continue
+				}
+				v := float64(c2.Weight) * factor
+				base := uint64(c2.Number) << 32
+				for _, c1 := range e1.Cells {
+					acc[base|uint64(c1.Number)] += float64(c1.Weight) * v
+					stats.Accumulations++
+				}
+			}
+		}); err != nil {
+			return nil, nil, err
+		}
+
+		if mem := int64(len(acc)) * 12; mem > stats.PeakMemoryBytes {
+			stats.PeakMemoryBytes = mem
+		}
+
+		// Emit the λ best matches for every outer document in the range,
+		// including documents with no non-zero similarity.
+		perOuter := make(map[uint32]*topk.TopK, len(rangeIDs))
+		for key, raw := range acc {
+			outer := uint32(key >> 32)
+			inner := uint32(key & 0xffffffff)
+			tk := perOuter[outer]
+			if tk == nil {
+				tk = topk.New(opts.Lambda)
+				perOuter[outer] = tk
+			}
+			tk.Offer(inner, scorer.Finalize(outer, inner, raw))
+		}
+		for _, id := range sortedCopy(rangeIDs) {
+			var matches []Match
+			if tk := perOuter[id]; tk != nil {
+				matches = tk.Results()
+			}
+			results = append(results, Result{Outer: id, Matches: matches})
+		}
+		clear(acc)
+	}
+
+	stats.IO = track.delta()
+	stats.Cost = stats.IO.Cost(alpha(in.InnerInv.File()))
+	return results, stats, nil
+}
+
+// vvmPlan computes the outer id list, pass count, base statistics and I/O
+// tracker shared by the serial and parallel VVM variants.
+func vvmPlan(in Inputs, opts Options) ([]uint32, int, *Stats, *ioTracker, error) {
+	// The outer document ids to join: all of C2, or the selection.
+	var outerIDs []uint32
+	if sub, ok := in.Outer.(*collection.Subset); ok {
+		outerIDs = sub.IDs()
+	} else {
+		n := in.Outer.NumDocs()
+		outerIDs = make([]uint32, n)
+		for i := range outerIDs {
+			outerIDs[i] = uint32(i)
+		}
+	}
+
+	// Partitioning: ⌈SM/M⌉ ranges of the outer ids.
+	pageSize := int64(in.InnerInv.File().PageSize())
+	n1 := in.Inner.NumDocs()
+	n2 := int64(len(outerIDs))
+	smBytes := int64(4 * opts.Delta * float64(n1) * float64(n2))
+	j1Pages := iosim.PagesForBytes(int64(in.InnerInv.Stats().J*float64(pageSize)+0.999), int(pageSize))
+	j2Pages := iosim.PagesForBytes(int64(in.OuterInv.Stats().J*float64(pageSize)+0.999), int(pageSize))
+	mBytes := opts.MemoryPages*pageSize - (j1Pages+j2Pages)*pageSize
+	if mBytes <= 0 {
+		return nil, 0, nil, nil, fmt.Errorf("%w: B=%d pages cannot hold one inverted entry from each file", ErrInsufficientMemory, opts.MemoryPages)
+	}
+	passes := 1
+	if smBytes > mBytes {
+		passes = int((smBytes + mBytes - 1) / mBytes)
+	}
+	if passes > len(outerIDs) && len(outerIDs) > 0 {
+		passes = len(outerIDs)
+	}
+	if len(outerIDs) == 0 {
+		passes = 0
+	}
+
+	stats := &Stats{Algorithm: VVM, InnerDocs: n1, OuterDocs: n2}
+	var treeFiles []*iosim.File
+	if in.InnerInv.Tree() != nil {
+		treeFiles = append(treeFiles, in.InnerInv.Tree().File())
+	}
+	if in.OuterInv.Tree() != nil {
+		treeFiles = append(treeFiles, in.OuterInv.Tree().File())
+	}
+	track := trackIO(append([]*iosim.File{in.InnerInv.File(), in.OuterInv.File()}, treeFiles...)...)
+	return outerIDs, passes, stats, track, nil
+}
+
+// sortedCopy returns the ids in ascending order without mutating the
+// input.
+func sortedCopy(ids []uint32) []uint32 {
+	out := make([]uint32, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mergeScan runs one parallel scan over both inverted files, invoking fn
+// for every term present in both (e1 from inner/C1, e2 from outer/C2).
+func mergeScan(inner, outer *invfile.InvertedFile, fn func(term uint32, e1, e2 *invfile.Entry)) error {
+	s1 := inner.Scan()
+	s2 := outer.Scan()
+	e1, err1 := s1.Next()
+	e2, err2 := s2.Next()
+	for err1 == nil && err2 == nil {
+		switch {
+		case e1.Term < e2.Term:
+			e1, err1 = s1.Next()
+		case e1.Term > e2.Term:
+			e2, err2 = s2.Next()
+		default:
+			fn(e1.Term, e1, e2)
+			e1, err1 = s1.Next()
+			e2, err2 = s2.Next()
+		}
+	}
+	// Drain the longer file so both scans cost their full sequential
+	// sweep, as the paper's one-scan cost I1 + I2 assumes.
+	for err1 == nil {
+		e1, err1 = s1.Next()
+		_ = e1
+	}
+	for err2 == nil {
+		e2, err2 = s2.Next()
+		_ = e2
+	}
+	if err1 != io.EOF {
+		return err1
+	}
+	if err2 != io.EOF {
+		return err2
+	}
+	return nil
+}

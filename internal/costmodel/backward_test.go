@@ -1,0 +1,108 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBackwardMatchesForwardOnSymmetricInput(t *testing.T) {
+	// Self join: both orders scan the same sizes, so the costs agree up
+	// to the batch-size difference from the tracker reservation.
+	sys := baseSys()
+	q := baseQ()
+	in := Input{C1: doe, C2: doe}
+	fw := HHNLSeq(in, sys, q)
+	bw := HHNLBackwardSeq(in, sys, q)
+	if math.IsInf(fw, 1) || math.IsInf(bw, 1) {
+		t.Fatalf("infeasible: fw=%v bw=%v", fw, bw)
+	}
+	if bw < fw/2 || bw > fw*2 {
+		t.Errorf("self join: bw %v should be within 2× of fw %v", bw, fw)
+	}
+}
+
+func TestBackwardWinsWhenC1MuchSmaller(t *testing.T) {
+	// The paper: "The backward order can be more efficient if C1 is much
+	// smaller than C2." A tiny C1 fits in one batch, so backward scans
+	// the big C2 once, while forward re-scans tiny C1 often but must
+	// still read all of C2 — the savings come from holding ALL of C1
+	// resident and scanning C2 exactly once versus forward's many C1
+	// scans... verify the formulas agree with the intuition.
+	sys := baseSys()
+	q := baseQ()
+	small := Collection{N: 500, K: 300, T: 30000}
+	in := Input{C1: small, C2: wsj}
+	fw := HHNLSeq(in, sys, q)
+	bw := HHNLBackwardSeq(in, sys, q)
+	if !(bw <= fw) {
+		t.Errorf("bw %v should not exceed fw %v when C1 ≪ C2", bw, fw)
+	}
+	// Backward with everything resident: D1 + one scan of C2.
+	want := small.D(sys) + wsj.D(sys)
+	if math.Abs(bw-want) > 1e-6 {
+		t.Errorf("bw = %v, want %v", bw, want)
+	}
+}
+
+func TestBackwardTrackerReservation(t *testing.T) {
+	// A huge N2 makes the tracker reservation 4·λ·N2/P dominate; with B
+	// too small the backward order is infeasible while forward is fine.
+	sys := System{B: 100, P: 4096, Alpha: 5}
+	q := Query{Lambda: 100, Delta: 0.1}
+	in := Input{C1: Collection{N: 10, K: 50, T: 500}, C2: doe}
+	if got := HHNLBackwardSeq(in, sys, q); !math.IsInf(got, 1) {
+		t.Errorf("backward with huge tracker set = %v, want +Inf", got)
+	}
+	if got := HHNLSeq(in, sys, q); math.IsInf(got, 1) {
+		t.Errorf("forward should stay feasible, got +Inf")
+	}
+}
+
+func TestBackwardRandAtLeastSeq(t *testing.T) {
+	sys := baseSys()
+	q := baseQ()
+	for _, c1 := range []Collection{wsj, fr, doe} {
+		for _, c2 := range []Collection{wsj, fr, doe} {
+			in := Input{C1: c1, C2: c2}
+			seq := HHNLBackwardSeq(in, sys, q)
+			rnd := HHNLBackwardRand(in, sys, q)
+			if math.IsInf(seq, 1) != math.IsInf(rnd, 1) {
+				t.Errorf("feasibility mismatch for %v/%v", c1, c2)
+				continue
+			}
+			if !math.IsInf(seq, 1) && rnd < seq-1e-9 {
+				t.Errorf("rand %v < seq %v", rnd, seq)
+			}
+		}
+	}
+}
+
+// Property: backward costs are positive or infeasible and monotone
+// non-increasing in B.
+func TestQuickBackwardMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := baseQ()
+		in := Input{C1: randomCollection(r), C2: randomCollection(r)}
+		prev := math.Inf(1)
+		for _, b := range []int64{100, 1000, 10000, 100000, 1000000} {
+			sys := System{B: b, P: 4096, Alpha: 5}
+			c := HHNLBackwardSeq(in, sys, q)
+			if !math.IsInf(c, 1) && c <= 0 {
+				return false
+			}
+			if c > prev+1e-6 {
+				return false
+			}
+			if !math.IsInf(c, 1) {
+				prev = c
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

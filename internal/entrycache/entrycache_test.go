@@ -1,0 +1,282 @@
+package entrycache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"textjoin/internal/codec"
+	"textjoin/internal/invfile"
+)
+
+func entry(term uint32, df int) *invfile.Entry {
+	cells := make([]codec.Cell, df)
+	for i := range cells {
+		cells[i] = codec.Cell{Number: uint32(i), Weight: 1}
+	}
+	return &invfile.Entry{Term: term, Cells: cells}
+}
+
+func TestPolicyString(t *testing.T) {
+	if MinOuterDF.String() != "min-outer-df" || LRU.String() != "lru" {
+		t.Error("policy names wrong")
+	}
+	if Policy(7).String() == "" {
+		t.Error("unknown policy name empty")
+	}
+}
+
+func TestNewPanicsWithoutPriority(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(MinOuterDF, nil) did not panic")
+		}
+	}()
+	New(100, MinOuterDF, nil)
+}
+
+func TestGetMissAndHit(t *testing.T) {
+	c := New(100, LRU, nil)
+	if _, ok := c.Get(1); ok {
+		t.Error("hit on empty cache")
+	}
+	c.Put(1, entry(1, 2), 10)
+	e, ok := c.Get(1)
+	if !ok || e.Term != 1 {
+		t.Errorf("Get = %+v, %v", e, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate should be 0")
+	}
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	c := New(100, LRU, nil)
+	c.Put(1, entry(1, 1), 40)
+	c.Put(2, entry(2, 1), 40)
+	if c.Used() != 80 || c.Len() != 2 || c.Budget() != 100 {
+		t.Errorf("used=%d len=%d budget=%d", c.Used(), c.Len(), c.Budget())
+	}
+	evicted := c.Put(3, entry(3, 1), 40) // must evict one
+	if len(evicted) != 1 || c.Used() != 80 || c.Len() != 2 {
+		t.Errorf("evicted=%v used=%d len=%d", evicted, c.Used(), c.Len())
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	c := New(50, LRU, nil)
+	c.Put(1, entry(1, 1), 10)
+	if evicted := c.Put(2, entry(2, 1), 60); evicted != nil {
+		t.Errorf("evicted = %v, want none", evicted)
+	}
+	if c.Contains(2) {
+		t.Error("oversized entry cached")
+	}
+	if !c.Contains(1) {
+		t.Error("existing entry dropped by rejected insert")
+	}
+	if c.Stats().Rejected != 1 {
+		t.Errorf("Rejected = %d", c.Stats().Rejected)
+	}
+}
+
+func TestMinOuterDFEviction(t *testing.T) {
+	df := map[uint32]int64{1: 10, 2: 3, 3: 7, 4: 99}
+	c := New(30, MinOuterDF, func(t uint32) int64 { return df[t] })
+	c.Put(1, entry(1, 1), 10)
+	c.Put(2, entry(2, 1), 10)
+	c.Put(3, entry(3, 1), 10)
+	// Cache full. Inserting term 4 must evict term 2 (lowest outer df).
+	evicted := c.Put(4, entry(4, 1), 10)
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Errorf("evicted = %v, want [2]", evicted)
+	}
+	// Next insert evicts term 3 (df 7 < 10 < 99).
+	evicted = c.Put(5, entry(5, 1), 10)
+	if len(evicted) != 1 || evicted[0] != 3 {
+		t.Errorf("evicted = %v, want [3]", evicted)
+	}
+}
+
+func TestMinOuterDFTieBreak(t *testing.T) {
+	c := New(20, MinOuterDF, func(uint32) int64 { return 5 })
+	c.Put(9, entry(9, 1), 10)
+	c.Put(4, entry(4, 1), 10)
+	evicted := c.Put(1, entry(1, 1), 10)
+	if len(evicted) != 1 || evicted[0] != 4 {
+		t.Errorf("evicted = %v, want [4] (lowest term on tie)", evicted)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(30, LRU, nil)
+	c.Put(1, entry(1, 1), 10)
+	c.Put(2, entry(2, 1), 10)
+	c.Put(3, entry(3, 1), 10)
+	c.Get(1) // refresh 1; LRU victim becomes 2
+	evicted := c.Put(4, entry(4, 1), 10)
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Errorf("evicted = %v, want [2]", evicted)
+	}
+	if !c.Contains(1) || !c.Contains(3) || !c.Contains(4) {
+		t.Error("wrong survivors")
+	}
+}
+
+func TestMultipleEvictionsForLargeEntry(t *testing.T) {
+	c := New(30, LRU, nil)
+	c.Put(1, entry(1, 1), 10)
+	c.Put(2, entry(2, 1), 10)
+	c.Put(3, entry(3, 1), 10)
+	evicted := c.Put(4, entry(4, 1), 25)
+	if len(evicted) != 3 {
+		t.Errorf("evicted = %v, want all three", evicted)
+	}
+	if c.Used() != 25 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d", c.Used(), c.Len())
+	}
+	if c.Stats().Evictions != 3 {
+		t.Errorf("Evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestReinsertReplaces(t *testing.T) {
+	c := New(100, LRU, nil)
+	c.Put(1, entry(1, 1), 30)
+	c.Put(1, entry(1, 2), 50)
+	if c.Used() != 50 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d after reinsert", c.Used(), c.Len())
+	}
+	e, _ := c.Get(1)
+	if e.DocFreq() != 2 {
+		t.Errorf("stale entry returned: df=%d", e.DocFreq())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(100, LRU, nil)
+	c.Put(1, entry(1, 1), 30)
+	c.Remove(1)
+	c.Remove(1) // no-op
+	if c.Len() != 0 || c.Used() != 0 || c.Contains(1) {
+		t.Error("Remove did not clear entry")
+	}
+}
+
+func TestTerms(t *testing.T) {
+	c := New(100, LRU, nil)
+	c.Put(3, entry(3, 1), 10)
+	c.Put(1, entry(1, 1), 10)
+	terms := c.Terms()
+	if len(terms) != 2 {
+		t.Fatalf("Terms = %v", terms)
+	}
+	seen := map[uint32]bool{}
+	for _, term := range terms {
+		seen[term] = true
+	}
+	if !seen[1] || !seen[3] {
+		t.Errorf("Terms = %v", terms)
+	}
+}
+
+// Property: used bytes always equal the sum of cached entry sizes and never
+// exceed the budget; every Get(t) after Put(t) with no interleaving
+// eviction returns the entry.
+func TestQuickInvariants(t *testing.T) {
+	check := func(seed int64, policySeed uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		policy := Policy(policySeed % 2)
+		df := func(term uint32) int64 { return int64(term%17) + 1 }
+		budget := int64(r.Intn(200) + 50)
+		c := New(budget, policy, df)
+		sizes := make(map[uint32]int64)
+		for op := 0; op < 500; op++ {
+			term := uint32(r.Intn(40))
+			switch r.Intn(3) {
+			case 0:
+				size := int64(r.Intn(60) + 1)
+				c.Put(term, entry(term, 1), size)
+				if size <= budget {
+					sizes[term] = size
+				} else {
+					delete(sizes, term)
+				}
+			case 1:
+				c.Get(term)
+			case 2:
+				c.Remove(term)
+				delete(sizes, term)
+			}
+			if c.Used() > budget {
+				return false
+			}
+			// Recompute used from live terms.
+			var sum int64
+			for _, term := range c.Terms() {
+				if sz, ok := sizes[term]; ok {
+					sum += sz
+				} else {
+					return false // cache holds a term we never put (or put oversized)
+				}
+			}
+			if sum != c.Used() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under MinOuterDF, an evicted term never has a strictly higher
+// priority than any term that remains cached.
+func TestQuickMinDFEvictsLowest(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		df := func(term uint32) int64 { return int64(term % 23) }
+		c := New(100, MinOuterDF, df)
+		for op := 0; op < 300; op++ {
+			term := uint32(r.Intn(60))
+			evicted := c.Put(term, entry(term, 1), int64(r.Intn(30)+1))
+			for _, ev := range evicted {
+				for _, kept := range c.Terms() {
+					if kept == term {
+						// The just-inserted term is exempt: eviction
+						// happens before insertion, so the newcomer may
+						// have any priority.
+						continue
+					}
+					if df(ev) > df(kept) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	c := New(1<<20, MinOuterDF, func(t uint32) int64 { return int64(t % 100) })
+	e := entry(0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		term := uint32(i % 10000)
+		if _, ok := c.Get(term); !ok {
+			c.Put(term, e, 128)
+		}
+	}
+}

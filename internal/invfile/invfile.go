@@ -1,0 +1,393 @@
+// Package invfile builds and reads the inverted files of the paper.
+//
+// For a term t in collection C, the inverted file entry is the list of
+// i-cells (d#, w) — document number and occurrence count of t in that
+// document — sorted by ascending document number. Entries are stored
+// tightly packed in consecutive storage locations in ascending term-number
+// order, so a full scan reads I pages sequentially (the access pattern of
+// VVM), while single entries are located through the accompanying B+tree
+// and fetched with random I/O (the access pattern of HVNL).
+//
+// As the paper notes, when document numbers and term numbers have the same
+// size the inverted file of a collection has the same total size as the
+// collection itself; the tests verify this equivalence.
+package invfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"textjoin/internal/btree"
+	"textjoin/internal/codec"
+	"textjoin/internal/collection"
+	"textjoin/internal/iosim"
+)
+
+// Errors returned by the package.
+var (
+	ErrNoIndex = errors.New("invfile: term index not loaded; call LoadIndex first")
+	ErrNoTerm  = errors.New("invfile: term has no entry")
+)
+
+// Stats describes an inverted file in the paper's terms.
+type Stats struct {
+	// Entries is the number of inverted file entries (= T, the number of
+	// distinct terms).
+	Entries int64
+	// TotalCells is the total number of i-cells (= Σ document lengths).
+	TotalCells int64
+	// Bytes is the tightly packed size in bytes.
+	Bytes int64
+	// I is the size of the inverted file in pages.
+	I int64
+	// J is the average size of an inverted file entry in pages.
+	J float64
+	// PageSize is the page size the sizes are expressed in.
+	PageSize int
+}
+
+// Entry is one decoded inverted-file entry.
+type Entry struct {
+	Term uint32
+	// Cells are the i-cells: (document number, occurrences) pairs sorted
+	// by ascending document number.
+	Cells []codec.Cell
+}
+
+// Bytes returns the packed size of the entry.
+func (e *Entry) Bytes() int64 { return codec.EncodedRecordSize(len(e.Cells)) }
+
+// DocFreq returns the entry's document frequency.
+func (e *Entry) DocFreq() int { return len(e.Cells) }
+
+// InvertedFile is a handle to a built inverted file and its B+tree.
+type InvertedFile struct {
+	entries *iosim.File
+	tree    *btree.BTree
+	stats   Stats
+	// index is the in-memory B+tree image; nil until LoadIndex.
+	index *btree.MemIndex
+	// addrs/ends give each entry's byte extent, derived from the index.
+	addrs map[uint32]extent
+}
+
+type extent struct {
+	off, length int64
+}
+
+// Build scans a collection and writes its inverted file into entryFile and
+// the accompanying B+tree into treeFile (both must be empty). The scan of
+// the collection is charged to the collection's disk like any other scan;
+// callers that only want to measure join-time I/O should reset the disk
+// statistics afterwards.
+func Build(c *collection.Collection, entryFile, treeFile *iosim.File) (*InvertedFile, error) {
+	if entryFile.Pages() != 0 || treeFile.Pages() != 0 {
+		return nil, fmt.Errorf("invfile: build targets must be empty")
+	}
+	// Invert: term -> i-cells. Document ids arrive in ascending order
+	// from the scan, so each posting list is built already sorted.
+	postings := make(map[uint32][]codec.Cell)
+	sc := c.Scan()
+	for {
+		doc, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, cell := range doc.Cells {
+			postings[cell.Term] = append(postings[cell.Term], codec.Cell{Number: doc.ID, Weight: cell.Weight})
+		}
+	}
+	terms := make([]uint32, 0, len(postings))
+	for t := range postings {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+
+	w := entryFile.Writer()
+	treeCells := make([]codec.BTreeCell, 0, len(terms))
+	var buf []byte
+	var totalCells int64
+	for _, t := range terms {
+		cells := postings[t]
+		off := w.Offset()
+		var err error
+		buf, err = codec.AppendRecord(buf[:0], codec.Record{Number: t, Cells: cells})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return nil, err
+		}
+		df := len(cells)
+		if df > int(codec.MaxWeight) {
+			df = int(codec.MaxWeight) // the 2-byte df field saturates
+		}
+		treeCells = append(treeCells, codec.BTreeCell{
+			Term:    t,
+			Addr:    uint32(off),
+			DocFreq: uint16(df),
+		})
+		totalCells += int64(len(cells))
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	var tree *btree.BTree
+	if len(treeCells) > 0 {
+		var err error
+		tree, err = btree.Build(treeFile, treeCells)
+		if err != nil {
+			return nil, err
+		}
+	}
+	stats := Stats{
+		Entries:    int64(len(terms)),
+		TotalCells: totalCells,
+		Bytes:      w.Offset(),
+		I:          entryFile.Pages(),
+		PageSize:   entryFile.PageSize(),
+	}
+	if stats.Entries > 0 {
+		stats.J = float64(stats.Bytes) / float64(stats.Entries) / float64(stats.PageSize)
+	}
+	return &InvertedFile{entries: entryFile, tree: tree, stats: stats}, nil
+}
+
+// Open re-attaches to an inverted file and its B+tree written earlier
+// (e.g. restored from a disk snapshot). The statistics are rebuilt from
+// the B+tree's in-memory image plus one header read of the last entry to
+// learn the packed size; the tree load is charged as usual.
+func Open(entryFile, treeFile *iosim.File) (*InvertedFile, error) {
+	if treeFile.Pages() == 0 {
+		// Empty collection: no tree was ever built.
+		return &InvertedFile{
+			entries: entryFile,
+			stats:   Stats{PageSize: entryFile.PageSize(), I: entryFile.Pages()},
+		}, nil
+	}
+	tree, err := btree.Open(treeFile)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := tree.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	f := &InvertedFile{
+		entries: entryFile,
+		tree:    tree,
+		stats: Stats{
+			Entries:  tree.Cells(),
+			I:        entryFile.Pages(),
+			PageSize: entryFile.PageSize(),
+		},
+	}
+	cells := idx.Cells()
+	var totalCells int64
+	for _, c := range cells {
+		totalCells += int64(c.DocFreq)
+	}
+	f.stats.TotalCells = totalCells
+	if len(cells) > 0 {
+		last := cells[len(cells)-1]
+		hdr, err := entryFile.ReadAt(int64(last.Addr), codec.EntryHeaderSize)
+		if err != nil {
+			return nil, err
+		}
+		size, err := codec.PeekRecordSize(hdr)
+		if err != nil {
+			return nil, err
+		}
+		entryFile.ParkHead()
+		f.stats.Bytes = int64(last.Addr) + size
+		f.stats.J = float64(f.stats.Bytes) / float64(f.stats.Entries) / float64(f.stats.PageSize)
+	}
+	// Reuse the already-loaded index for extents.
+	f.index = idx
+	addrs := make(map[uint32]extent, len(cells))
+	for i, c := range cells {
+		end := f.stats.Bytes
+		if i+1 < len(cells) {
+			end = int64(cells[i+1].Addr)
+		}
+		addrs[c.Term] = extent{off: int64(c.Addr), length: end - int64(c.Addr)}
+	}
+	f.addrs = addrs
+	return f, nil
+}
+
+// Stats returns the inverted file's statistics.
+func (f *InvertedFile) Stats() Stats { return f.stats }
+
+// Tree returns the accompanying B+tree (nil for an empty file).
+func (f *InvertedFile) Tree() *btree.BTree { return f.tree }
+
+// File returns the underlying entry file.
+func (f *InvertedFile) File() *iosim.File { return f.entries }
+
+// LoadIndex reads the whole B+tree into memory (the paper's one-time cost
+// of Bt sequential page reads) and prepares random entry fetches. It is
+// idempotent; repeat calls are free.
+func (f *InvertedFile) LoadIndex() (*btree.MemIndex, error) {
+	if f.index != nil {
+		return f.index, nil
+	}
+	if f.tree == nil {
+		f.index = btree.NewMemIndex(nil)
+		f.addrs = map[uint32]extent{}
+		return f.index, nil
+	}
+	idx, err := f.tree.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	cells := idx.Cells()
+	addrs := make(map[uint32]extent, len(cells))
+	for i, c := range cells {
+		end := f.stats.Bytes
+		if i+1 < len(cells) {
+			end = int64(cells[i+1].Addr)
+		}
+		addrs[c.Term] = extent{off: int64(c.Addr), length: end - int64(c.Addr)}
+	}
+	f.index = idx
+	f.addrs = addrs
+	return idx, nil
+}
+
+// Index returns the loaded in-memory index, or an error when LoadIndex has
+// not been called.
+func (f *InvertedFile) Index() (*btree.MemIndex, error) {
+	if f.index == nil {
+		return nil, ErrNoIndex
+	}
+	return f.index, nil
+}
+
+// EntryPages returns the number of pages a random fetch of term's entry
+// touches (the paper charges ⌈J⌉ pages per random entry read).
+func (f *InvertedFile) EntryPages(term uint32) (int64, error) {
+	if f.index == nil {
+		return 0, ErrNoIndex
+	}
+	ext, ok := f.addrs[term]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoTerm, term)
+	}
+	return iosim.SpannedPages(ext.off, ext.length, f.stats.PageSize), nil
+}
+
+// FetchEntry reads the entry of term with a random access through the
+// loaded index, touching every page the entry spans. The head is parked
+// afterwards: consecutive fetches of unrelated terms are all random, as in
+// the paper's ⌈J⌉·α per-entry cost.
+func (f *InvertedFile) FetchEntry(term uint32) (*Entry, error) {
+	if f.index == nil {
+		return nil, ErrNoIndex
+	}
+	ext, ok := f.addrs[term]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoTerm, term)
+	}
+	raw, err := f.entries.ReadAt(ext.off, ext.length)
+	if err != nil {
+		return nil, err
+	}
+	f.entries.ParkHead()
+	rec, _, err := codec.DecodeRecord(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{Term: rec.Number, Cells: rec.Cells}, nil
+}
+
+// Contains reports whether term has an entry, using the loaded index
+// without touching storage.
+func (f *InvertedFile) Contains(term uint32) (bool, error) {
+	if f.index == nil {
+		return false, ErrNoIndex
+	}
+	return f.index.Contains(term), nil
+}
+
+// DocFreq returns the document frequency of term from the loaded index (0
+// when absent).
+func (f *InvertedFile) DocFreq(term uint32) (int64, error) {
+	if f.index == nil {
+		return 0, ErrNoIndex
+	}
+	c, ok := f.index.Lookup(term)
+	if !ok {
+		return 0, nil
+	}
+	return int64(c.DocFreq), nil
+}
+
+// Scanner iterates entries in ascending term order, reading the entry file
+// sequentially exactly once (the access pattern of VVM's merge scan).
+type Scanner struct {
+	f        *InvertedFile
+	nextPage int64
+	buf      []byte
+	read     int64
+	consumed int64
+	err      error
+}
+
+// Scan starts a sequential scan over all entries.
+func (f *InvertedFile) Scan() *Scanner {
+	return &Scanner{f: f}
+}
+
+// Next returns the next entry, or io.EOF after the last one.
+func (s *Scanner) Next() (*Entry, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.consumed >= s.f.stats.Bytes {
+		s.err = io.EOF
+		return nil, io.EOF
+	}
+	// Ensure the record header is buffered, then the whole record.
+	need := int64(codec.EntryHeaderSize)
+	for int64(len(s.buf)) < need {
+		if err := s.fill(); err != nil {
+			return nil, err
+		}
+	}
+	size, err := codec.PeekRecordSize(s.buf)
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	for int64(len(s.buf)) < size {
+		if err := s.fill(); err != nil {
+			return nil, err
+		}
+	}
+	rec, consumed, err := codec.DecodeRecord(s.buf)
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	s.buf = s.buf[consumed:]
+	s.consumed += consumed
+	return &Entry{Term: rec.Number, Cells: rec.Cells}, nil
+}
+
+func (s *Scanner) fill() error {
+	page, err := s.f.entries.ReadPage(s.nextPage)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	s.nextPage++
+	s.buf = append(s.buf, page...)
+	s.read += int64(len(page))
+	return nil
+}

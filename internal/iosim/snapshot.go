@@ -1,0 +1,156 @@
+package iosim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot format: the simulated disk can be serialized to a real file
+// and restored later, so corpora and index structures built once (e.g. by
+// cmd/corpusgen or a test fixture) can be reused across processes.
+//
+//	magic    uint32  "TJDK"
+//	version  uint16
+//	pageSize uint32
+//	alpha    float64 (IEEE 754 bits)
+//	files    uint32
+//	per file:
+//	  nameLen uint16, name bytes
+//	  pages   uint32, pages × pageSize raw bytes
+//
+// I/O statistics and head positions are deliberately not persisted: a
+// restored disk starts cold, as a real machine would after a reboot.
+
+const (
+	snapshotMagic   = 0x544a444b // "TJDK"
+	snapshotVersion = 1
+)
+
+// ErrBadSnapshot is returned when a snapshot cannot be parsed.
+var ErrBadSnapshot = errors.New("iosim: bad snapshot")
+
+// WriteTo serializes the disk's files. It implements io.WriterTo.
+func (d *Disk) WriteTo(w io.Writer) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	var written int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	if err := put(uint32(snapshotMagic)); err != nil {
+		return written, err
+	}
+	if err := put(uint16(snapshotVersion)); err != nil {
+		return written, err
+	}
+	if err := put(uint32(d.pageSize)); err != nil {
+		return written, err
+	}
+	if err := put(d.alpha); err != nil {
+		return written, err
+	}
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	// Sorted for deterministic snapshots.
+	sort.Strings(names)
+	if err := put(uint32(len(names))); err != nil {
+		return written, err
+	}
+	for _, name := range names {
+		f := d.files[name]
+		if err := put(uint16(len(name))); err != nil {
+			return written, err
+		}
+		n, err := bw.WriteString(name)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		if err := put(uint32(len(f.pages))); err != nil {
+			return written, err
+		}
+		for _, page := range f.pages {
+			n, err := bw.Write(page)
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadDisk restores a disk from a snapshot.
+func ReadDisk(r io.Reader) (*Disk, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadSnapshot, magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
+	}
+	var pageSize uint32
+	if err := binary.Read(br, binary.LittleEndian, &pageSize); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if pageSize == 0 || pageSize > 1<<24 {
+		return nil, fmt.Errorf("%w: page size %d", ErrBadSnapshot, pageSize)
+	}
+	var alpha float64
+	if err := binary.Read(br, binary.LittleEndian, &alpha); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	d := NewDisk(WithPageSize(int(pageSize)), WithAlpha(alpha))
+	var nFiles uint32
+	if err := binary.Read(br, binary.LittleEndian, &nFiles); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	for i := uint32(0); i < nFiles; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		f, err := d.Create(string(nameBytes))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		var nPages uint32
+		if err := binary.Read(br, binary.LittleEndian, &nPages); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		f.pages = make([][]byte, nPages)
+		for p := uint32(0); p < nPages; p++ {
+			page := make([]byte, pageSize)
+			if _, err := io.ReadFull(br, page); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			f.pages[p] = page
+		}
+	}
+	// Restoration is not I/O in the model's sense.
+	d.ResetStats()
+	return d, nil
+}

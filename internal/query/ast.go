@@ -1,0 +1,113 @@
+// Package query implements the extended-SQL front end of the paper's
+// motivating example: a lexer, parser, cost-based planner and executor for
+// queries of the form
+//
+//	SELECT R1.X1, R2.Y2
+//	FROM R1, R2
+//	WHERE R1.C1 SIMILAR_TO(λ) R2.C2 [AND selections...]
+//
+// Selections on non-textual attributes are pushed down before the textual
+// join, shrinking the participating document sets; the planner then runs
+// the paper's integrated algorithm — estimate the cost of HHNL, HVNL and
+// VVM from the (possibly reduced) collection statistics and execute the
+// cheapest.
+package query
+
+import "fmt"
+
+// ColRef names a column, optionally qualified by a table alias.
+type ColRef struct {
+	Table  string // alias or relation name; empty when unqualified
+	Column string
+}
+
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// TableRef names a relation with an optional alias.
+type TableRef struct {
+	Relation string
+	Alias    string
+}
+
+// Name returns the name the table is addressed by in the query.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Relation
+}
+
+// Literal is a string or integer constant.
+type Literal struct {
+	IsString bool
+	Str      string
+	Int      int64
+}
+
+func (l Literal) String() string {
+	if l.IsString {
+		return fmt.Sprintf("%q", l.Str)
+	}
+	return fmt.Sprintf("%d", l.Int)
+}
+
+// Predicate is one conjunct of the WHERE clause.
+type Predicate interface{ predicate() }
+
+// LikePred is `col LIKE "pattern"`.
+type LikePred struct {
+	Col     ColRef
+	Pattern string
+	// Negated marks NOT LIKE.
+	Negated bool
+}
+
+// ComparePred is `col op literal` with op ∈ {=, <>, <, <=, >, >=}.
+type ComparePred struct {
+	Col ColRef
+	Op  string
+	Lit Literal
+}
+
+// SimilarPred is `left SIMILAR_TO(λ) right`: find, for each document of
+// the right (outer) attribute, the λ most similar documents of the left
+// (inner) attribute — the paper's asymmetric semantics.
+type SimilarPred struct {
+	Left   ColRef
+	Lambda int
+	Right  ColRef
+}
+
+func (LikePred) predicate()    {}
+func (ComparePred) predicate() {}
+func (SimilarPred) predicate() {}
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	Select []ColRef
+	From   []TableRef
+	Where  []Predicate
+}
+
+// SimilarPredicate returns the query's textual-join predicate, or an error
+// when there is none or more than one.
+func (q *Query) SimilarPredicate() (*SimilarPred, error) {
+	var found *SimilarPred
+	for _, p := range q.Where {
+		if sp, ok := p.(*SimilarPred); ok {
+			if found != nil {
+				return nil, fmt.Errorf("query: multiple SIMILAR_TO predicates are not supported")
+			}
+			found = sp
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("query: no SIMILAR_TO predicate")
+	}
+	return found, nil
+}

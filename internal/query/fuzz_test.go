@@ -1,0 +1,44 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that accepted queries
+// satisfy basic well-formedness invariants. Run with `go test -fuzz
+// FuzzParse ./internal/query` for continuous fuzzing; the seed corpus runs
+// on every plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`select a.x from r1 a, r2 b where a.t similar_to(3) b.t`,
+		`Select P.P#, P.Title From Positions P, Applicants A Where P.Title like "%Engineer%" and A.Resume SIMILAR_TO(20) P.Job_descr`,
+		`select x from r1, r2 where a = 'it''s' and t similar_to(1) u`,
+		`select x from r1, r2 where a <> 5 and t similar_to(1) u`,
+		`select x from r1, r2 where a not like '%y%' and t similar_to(1) u`,
+		"select\tx\nfrom r1, r2 where t similar_to(1) u",
+		`%%%`,
+		`select`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if len(q.Select) == 0 || len(q.From) == 0 || len(q.Where) == 0 {
+			t.Fatalf("accepted malformed query %q -> %+v", src, q)
+		}
+		for _, ref := range q.From {
+			if ref.Relation == "" {
+				t.Fatalf("empty relation in %q", src)
+			}
+			if reserved[strings.ToLower(ref.Relation)] {
+				t.Fatalf("reserved word as relation in %q", src)
+			}
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one extended-SQL SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("query: trailing input at %s", p.peek())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// keyword consumes an identifier matching kw case-insensitively.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("query: expected %s, found %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == s {
+		p.advance()
+		return nil
+	}
+	return fmt.Errorf("query: expected %q, found %s", s, t)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		col, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, col)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, ref)
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("where"); err != nil {
+		return nil, err
+	}
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = append(q.Where, pred)
+		if p.keyword("and") {
+			continue
+		}
+		break
+	}
+	return q, nil
+}
+
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true,
+	"like": true, "not": true, "similar_to": true,
+}
+
+func (p *parser) parseIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent || reserved[strings.ToLower(t.text)] {
+		return "", fmt.Errorf("query: expected identifier, found %s", t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	first, err := p.parseIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.peek().kind == tokPunct && p.peek().text == "." {
+		p.advance()
+		second, err := p.parseIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first, Column: second}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Relation: name}
+	// Optional alias: a bare identifier that is not a keyword.
+	if t := p.peek(); t.kind == tokIdent && !reserved[strings.ToLower(t.text)] {
+		ref.Alias = t.text
+		p.advance()
+	}
+	return ref, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	col, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.keyword("not"):
+		if err := p.expectKeyword("like"); err != nil {
+			return nil, err
+		}
+		pat, err := p.parseString()
+		if err != nil {
+			return nil, err
+		}
+		return &LikePred{Col: col, Pattern: pat, Negated: true}, nil
+	case p.keyword("like"):
+		pat, err := p.parseString()
+		if err != nil {
+			return nil, err
+		}
+		return &LikePred{Col: col, Pattern: pat}, nil
+	case p.keyword("similar_to"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("query: SIMILAR_TO expects a numeric λ, found %s", t)
+		}
+		p.advance()
+		lambda, err := strconv.Atoi(t.text)
+		if err != nil || lambda <= 0 {
+			return nil, fmt.Errorf("query: invalid λ %q", t.text)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		right, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		return &SimilarPred{Left: col, Lambda: lambda, Right: right}, nil
+	case p.peek().kind == tokOp:
+		op := p.advance().text
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &ComparePred{Col: col, Op: op, Lit: lit}, nil
+	default:
+		return nil, fmt.Errorf("query: expected predicate operator after %s, found %s", col, p.peek())
+	}
+}
+
+func (p *parser) parseString() (string, error) {
+	t := p.peek()
+	if t.kind != tokString {
+		return "", fmt.Errorf("query: expected string literal, found %s", t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.advance()
+		return Literal{IsString: true, Str: t.text}, nil
+	case tokNumber:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("query: bad number %q: %v", t.text, err)
+		}
+		return Literal{Int: n}, nil
+	default:
+		return Literal{}, fmt.Errorf("query: expected literal, found %s", t)
+	}
+}

@@ -1,0 +1,200 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMotivatingExample(t *testing.T) {
+	q, err := Parse(`Select P.P#, P.Title, A.SSN, A.Name
+		From Positions P, Applicants A
+		Where A.Resume SIMILAR_TO(20) P.Job_descr`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 4 {
+		t.Fatalf("select = %v", q.Select)
+	}
+	if q.Select[0] != (ColRef{Table: "P", Column: "P#"}) {
+		t.Errorf("select[0] = %v", q.Select[0])
+	}
+	if len(q.From) != 2 || q.From[0].Relation != "Positions" || q.From[0].Alias != "P" {
+		t.Errorf("from = %v", q.From)
+	}
+	sp, err := q.SimilarPredicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Lambda != 20 {
+		t.Errorf("lambda = %d", sp.Lambda)
+	}
+	if sp.Left != (ColRef{Table: "A", Column: "Resume"}) || sp.Right != (ColRef{Table: "P", Column: "Job_descr"}) {
+		t.Errorf("similar = %+v", sp)
+	}
+}
+
+func TestParseWithSelection(t *testing.T) {
+	q, err := Parse(`SELECT P.P#, A.Name FROM Positions P, Applicants A
+		WHERE P.Title like "%Engineer%" and A.Resume SIMILAR_TO(5) P.Job_descr`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("where = %v", q.Where)
+	}
+	lp, ok := q.Where[0].(*LikePred)
+	if !ok || lp.Pattern != "%Engineer%" || lp.Negated {
+		t.Errorf("like = %+v", q.Where[0])
+	}
+}
+
+func TestParseComparisonsAndNotLike(t *testing.T) {
+	q, err := Parse(`select a.x from r1 a, r2 b
+		where a.n >= 10 and a.s = 'hi' and b.s not like '%x%' and a.t similar_to(3) b.t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 4 {
+		t.Fatalf("where = %d", len(q.Where))
+	}
+	cp := q.Where[0].(*ComparePred)
+	if cp.Op != ">=" || cp.Lit.Int != 10 {
+		t.Errorf("compare = %+v", cp)
+	}
+	cp2 := q.Where[1].(*ComparePred)
+	if !cp2.Lit.IsString || cp2.Lit.Str != "hi" {
+		t.Errorf("compare = %+v", cp2)
+	}
+	nl := q.Where[2].(*LikePred)
+	if !nl.Negated {
+		t.Errorf("not like = %+v", nl)
+	}
+}
+
+func TestParseUnqualifiedColumns(t *testing.T) {
+	q, err := Parse(`select name from r1, r2 where resume similar_to(2) descr`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[0].Table != "" || q.Select[0].Column != "name" {
+		t.Errorf("select = %v", q.Select[0])
+	}
+	if q.From[0].Alias != "" {
+		t.Errorf("alias = %q", q.From[0].Alias)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q, err := Parse(`select a.x from r1 a, r2 b where a.s = 'it''s' and a.t similar_to(1) b.t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := q.Where[0].(*ComparePred)
+	if cp.Lit.Str != "it's" {
+		t.Errorf("escaped string = %q", cp.Lit.Str)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"select",
+		"select x",
+		"select x from",
+		"select x from r1, r2",                // no where
+		"select x from r1, r2 where",          // empty where
+		"select x from r1, r2 where a like 5", // like needs string
+		"select x from r1, r2 where a similar_to() b",       // missing lambda
+		"select x from r1, r2 where a similar_to(0) b",      // zero lambda
+		"select x from r1, r2 where a similar_to(-1) b",     // negative
+		"select x from r1, r2 where a similar_to(2 b",       // missing paren
+		"select x from r1, r2 where a = ",                   // missing literal
+		"select x from r1, r2 where a ~ 3",                  // bad char
+		"select x from r1, r2 where a = 'unterminated",      // bad string
+		"select x from r1, r2 where a similar_to(1) b junk", // trailing
+		"select select from r1, r2 where a similar_to(1) b", // reserved as ident
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestSimilarPredicateErrors(t *testing.T) {
+	q, err := Parse(`select x from r1, r2 where a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SimilarPredicate(); err == nil {
+		t.Error("no SIMILAR_TO: want error")
+	}
+	q2, err := Parse(`select x from r1, r2 where a similar_to(1) b and c similar_to(2) d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.SimilarPredicate(); err == nil {
+		t.Error("two SIMILAR_TO: want error")
+	}
+}
+
+func TestColRefString(t *testing.T) {
+	if (ColRef{Column: "x"}).String() != "x" {
+		t.Error("unqualified")
+	}
+	if (ColRef{Table: "t", Column: "x"}).String() != "t.x" {
+		t.Error("qualified")
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	if (Literal{IsString: true, Str: "a"}).String() != `"a"` {
+		t.Error("string literal")
+	}
+	if (Literal{Int: 5}).String() != "5" {
+		t.Error("int literal")
+	}
+}
+
+func TestTableRefName(t *testing.T) {
+	if (TableRef{Relation: "r"}).Name() != "r" {
+		t.Error("no alias")
+	}
+	if (TableRef{Relation: "r", Alias: "a"}).Name() != "a" {
+		t.Error("alias")
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	if _, err := Parse(`SeLeCt a.x FrOm r1 a, r2 b WhErE a.t SIMILAR_to(7) b.t`); err != nil {
+		t.Errorf("mixed case: %v", err)
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex(`a.b, (5) 'str' <= <> != P#`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	want := []string{"a", ".", "b", ",", "(", "5", ")", "str", "<=", "<>", "!=", "P#", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[len(kinds)-1] != tokEOF {
+		t.Error("missing EOF")
+	}
+	if !strings.Contains(toks[0].String(), "a") {
+		t.Error("token String broken")
+	}
+}

@@ -1,0 +1,250 @@
+// Package relation provides the minimal relational layer the paper's
+// motivating example needs: global relations with ordinary attributes plus
+// attributes of type text, so that queries like
+//
+//	Select P.P#, P.Title, A.SSN, A.Name
+//	From Positions P, Applicants A
+//	Where P.Title like "%Engineer%"
+//	  and A.Resume SIMILAR_TO(λ) P.Job_descr
+//
+// can push the selection down before the textual join, shrinking the
+// participating document set exactly as Section 2 describes.
+//
+// A text attribute's value is a document number in the collection bound to
+// that attribute; the binding itself lives in the query layer's catalog.
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type enumerates attribute types.
+type Type int
+
+const (
+	// String is a character attribute.
+	String Type = iota
+	// Int is an integer attribute.
+	Int
+	// Text is a textual attribute: the value is a document number in
+	// the collection bound to the attribute.
+	Text
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Int:
+		return "int"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Column describes one attribute.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Value is one attribute value, tagged by its column's type.
+type Value struct {
+	Kind Type
+	Str  string
+	Int  int64
+	// Doc is the document number of a Text value.
+	Doc uint32
+}
+
+// StringValue makes a String value.
+func StringValue(s string) Value { return Value{Kind: String, Str: s} }
+
+// IntValue makes an Int value.
+func IntValue(i int64) Value { return Value{Kind: Int, Int: i} }
+
+// TextValue makes a Text value referencing document doc.
+func TextValue(doc uint32) Value { return Value{Kind: Text, Doc: doc} }
+
+// Format renders the value for result output.
+func (v Value) Format() string {
+	switch v.Kind {
+	case String:
+		return v.Str
+	case Int:
+		return fmt.Sprintf("%d", v.Int)
+	case Text:
+		return fmt.Sprintf("doc#%d", v.Doc)
+	default:
+		return "?"
+	}
+}
+
+// Relation is an in-memory table.
+type Relation struct {
+	name    string
+	columns []Column
+	byName  map[string]int
+	rows    [][]Value
+}
+
+// New creates an empty relation.
+func New(name string, columns []Column) (*Relation, error) {
+	byName := make(map[string]int, len(columns))
+	for i, c := range columns {
+		key := strings.ToLower(c.Name)
+		if _, dup := byName[key]; dup {
+			return nil, fmt.Errorf("relation %s: duplicate column %q", name, c.Name)
+		}
+		byName[key] = i
+	}
+	return &Relation{name: name, columns: columns, byName: byName}, nil
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Columns returns the schema; callers must not modify it.
+func (r *Relation) Columns() []Column { return r.columns }
+
+// ColumnIndex resolves a column name case-insensitively.
+func (r *Relation) ColumnIndex(name string) (int, error) {
+	i, ok := r.byName[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("relation %s: no column %q", r.name, name)
+	}
+	return i, nil
+}
+
+// Insert appends a row after checking arity and types.
+func (r *Relation) Insert(values ...Value) error {
+	if len(values) != len(r.columns) {
+		return fmt.Errorf("relation %s: %d values for %d columns", r.name, len(values), len(r.columns))
+	}
+	for i, v := range values {
+		if v.Kind != r.columns[i].Type {
+			return fmt.Errorf("relation %s: column %s wants %v, got %v", r.name, r.columns[i].Name, r.columns[i].Type, v.Kind)
+		}
+	}
+	row := make([]Value, len(values))
+	copy(row, values)
+	r.rows = append(r.rows, row)
+	return nil
+}
+
+// NumRows returns the row count.
+func (r *Relation) NumRows() int { return len(r.rows) }
+
+// Row returns row i; callers must not modify it.
+func (r *Relation) Row(i int) []Value { return r.rows[i] }
+
+// Filter returns the indices of rows satisfying pred.
+func (r *Relation) Filter(pred func(row []Value) bool) []int {
+	var out []int
+	for i, row := range r.rows {
+		if pred(row) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RowByDoc finds the row whose Text column col references doc. Returns -1
+// when absent.
+func (r *Relation) RowByDoc(col int, doc uint32) int {
+	for i, row := range r.rows {
+		if row[col].Kind == Text && row[col].Doc == doc {
+			return i
+		}
+	}
+	return -1
+}
+
+// DocIndex builds a document-number → row-index map over a Text column.
+func (r *Relation) DocIndex(col int) map[uint32]int {
+	m := make(map[uint32]int, len(r.rows))
+	for i, row := range r.rows {
+		if row[col].Kind == Text {
+			m[row[col].Doc] = i
+		}
+	}
+	return m
+}
+
+// Like evaluates the SQL LIKE predicate: % matches any run (including
+// empty), _ matches exactly one character. Matching is case-sensitive,
+// as in the paper's example "%Engineer%".
+func Like(pattern, s string) bool {
+	return likeMatch(pattern, s)
+}
+
+func likeMatch(p, s string) bool {
+	// Iterative two-pointer matcher with backtracking on the last %.
+	pi, si := 0, 0
+	star, starSi := -1, 0
+	pr := []rune(p)
+	sr := []rune(s)
+	for si < len(sr) {
+		switch {
+		case pi < len(pr) && (pr[pi] == '_' || pr[pi] == sr[si]):
+			pi++
+			si++
+		case pi < len(pr) && pr[pi] == '%':
+			star = pi
+			starSi = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(pr) && pr[pi] == '%' {
+		pi++
+	}
+	return pi == len(pr)
+}
+
+// Compare evaluates a comparison operator between a value and a literal of
+// the same kind. Supported ops: =, <>, <, <=, >, >=.
+func Compare(v Value, op string, lit Value) (bool, error) {
+	if v.Kind != lit.Kind {
+		return false, fmt.Errorf("relation: comparing %v with %v", v.Kind, lit.Kind)
+	}
+	var c int
+	switch v.Kind {
+	case Int:
+		switch {
+		case v.Int < lit.Int:
+			c = -1
+		case v.Int > lit.Int:
+			c = 1
+		}
+	case String:
+		c = strings.Compare(v.Str, lit.Str)
+	default:
+		return false, fmt.Errorf("relation: cannot compare %v values", v.Kind)
+	}
+	switch op {
+	case "=":
+		return c == 0, nil
+	case "<>", "!=":
+		return c != 0, nil
+	case "<":
+		return c < 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">":
+		return c > 0, nil
+	case ">=":
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("relation: unknown operator %q", op)
+	}
+}

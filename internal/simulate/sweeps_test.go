@@ -1,0 +1,115 @@
+package simulate
+
+import (
+	"textjoin/internal/corpus"
+	"textjoin/internal/costmodel"
+
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGroupLambdaShape(t *testing.T) {
+	tables := GroupLambda()
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != len(LambdaSweep) {
+			t.Errorf("%s: rows = %d", tb.ID, len(tb.Rows))
+		}
+	}
+}
+
+func TestLambdaInsensitivity(t *testing.T) {
+	// The paper: "only HHNL involves λ and it is not really sensitive to
+	// λ". λ only shrinks the batch size through the 4λ/P slot term, so
+	// over the paper's own range (λ ≤ 20) the cost difference is bounded
+	// by one extra inner scan (⌈N2/X⌉ is a ceiling, so a marginal batch
+	// shrink can add one scan of D1 — never more).
+	sys := costmodel.DefaultSystem()
+	for _, p := range corpus.Profiles() {
+		d1 := p.Stats().D(sys)
+		name := strings.ToLower(p.Name)
+		rel := LambdaSensitivity(20)[name]
+		// Convert the relative variation back to absolute pages against
+		// the λ=1 cost to compare with D1.
+		var base float64
+		for _, tb := range GroupLambda() {
+			if tb.ID == "lambda-"+name {
+				base = tb.Rows[0].Costs["hhs"]
+			}
+		}
+		if rel*base > d1*1.01 {
+			t.Errorf("%s: hhs varies by %.0f pages across λ ≤ 20, more than one inner scan (%.0f)",
+				name, rel*base, d1)
+		}
+	}
+	// At λ=500 the claim breaks for DOE (documents of 0.11 pages carry
+	// 0.49 pages of similarity slots each): hhs grows by more than 50%.
+	full := LambdaSensitivity(500)
+	if full["doe"] < 0.5 {
+		t.Errorf("doe at λ=500: variation %.1f%%, expected the claim to break (> 50%%)", full["doe"]*100)
+	}
+	// And the non-HHNL formulas do not involve λ at all.
+	for _, tb := range GroupLambda() {
+		for _, col := range []string{"hvs", "vvs"} {
+			first := tb.Rows[0].Costs[col]
+			for _, r := range tb.Rows[1:] {
+				if !math.IsInf(first, 1) && math.Abs(r.Costs[col]-first) > 1e-9 {
+					t.Errorf("%s: %s changed with λ (%v vs %v)", tb.ID, col, r.Costs[col], first)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupDeltaShape(t *testing.T) {
+	tables := GroupDelta()
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != len(DeltaSweep) {
+			t.Errorf("%s: rows = %d", tb.ID, len(tb.Rows))
+		}
+		// vvs is non-decreasing in δ (more partitions), and hhs ignores δ.
+		prevVVS := 0.0
+		firstHHS := tb.Rows[0].Costs["hhs"]
+		for _, r := range tb.Rows {
+			v := r.Costs["vvs"]
+			if !math.IsInf(v, 1) {
+				if v < prevVVS-1e-9 {
+					t.Errorf("%s: vvs decreased at %s", tb.ID, r.Label)
+				}
+				prevVVS = v
+			}
+			if math.Abs(r.Costs["hhs"]-firstHHS) > 1e-9 {
+				t.Errorf("%s: hhs changed with δ at %s", tb.ID, r.Label)
+			}
+		}
+	}
+}
+
+func TestDeltaScalesVVMPartitions(t *testing.T) {
+	// At 10× the δ, VVM's cost grows by roughly 10× for partition-bound
+	// joins (WSJ self join: SM ≫ M at both settings).
+	for _, tb := range GroupDelta() {
+		if !strings.Contains(tb.ID, "wsj") {
+			continue
+		}
+		var v01, v10 float64
+		for _, r := range tb.Rows {
+			switch r.Label {
+			case "delta=0.1":
+				v01 = r.Costs["vvs"]
+			case "delta=1":
+				v10 = r.Costs["vvs"]
+			}
+		}
+		ratio := v10 / v01
+		if ratio < 8 || ratio > 12 {
+			t.Errorf("vvs(δ=1)/vvs(δ=0.1) = %v, want ≈ 10", ratio)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package termmap implements the paper's term-number standardization for
+// multidatabase environments.
+//
+// Section 3: "different numbers may be used to represent the same term in
+// different local IR systems due to the local autonomy. ... An attractive
+// method is to have a standard mapping from terms to term numbers and have
+// all local IR systems use the same mapping." When locals have not adopted
+// the standard, "this assumption can be simulated by always keeping the
+// mapping structure in the memory".
+//
+// Dictionary is the standard (global) term → number mapping; LocalMapping
+// is the memory-resident translation from one local system's term numbers
+// to the standard numbers, built by matching vocabularies. Remapping a
+// document renumbers and re-sorts its cells, merging occurrences when two
+// local terms map to one standard term.
+package termmap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"textjoin/internal/codec"
+	"textjoin/internal/document"
+)
+
+// Errors returned by the package.
+var (
+	ErrUnknownTerm = errors.New("termmap: term not in dictionary")
+	ErrFull        = errors.New("termmap: dictionary full")
+)
+
+// Dictionary assigns standard term numbers to term strings. Numbers are
+// dense, starting at 0, in insertion order.
+type Dictionary struct {
+	byTerm map[string]uint32
+	terms  []string
+}
+
+// NewDictionary creates an empty standard dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byTerm: make(map[string]uint32)}
+}
+
+// Intern returns the standard number of term, assigning the next free
+// number on first sight.
+func (d *Dictionary) Intern(term string) (uint32, error) {
+	if n, ok := d.byTerm[term]; ok {
+		return n, nil
+	}
+	if len(d.terms) > codec.MaxNumber {
+		return 0, ErrFull
+	}
+	n := uint32(len(d.terms))
+	d.byTerm[term] = n
+	d.terms = append(d.terms, term)
+	return n, nil
+}
+
+// Lookup returns the standard number of term without interning.
+func (d *Dictionary) Lookup(term string) (uint32, bool) {
+	n, ok := d.byTerm[term]
+	return n, ok
+}
+
+// Term returns the string of a standard number.
+func (d *Dictionary) Term(n uint32) (string, error) {
+	if int(n) >= len(d.terms) {
+		return "", fmt.Errorf("%w: number %d of %d", ErrUnknownTerm, n, len(d.terms))
+	}
+	return d.terms[n], nil
+}
+
+// Len returns the number of interned terms.
+func (d *Dictionary) Len() int { return len(d.terms) }
+
+// LocalMapping translates one local IR system's term numbers to standard
+// numbers. It is the memory-resident "mapping structure" of Section 3.
+type LocalMapping struct {
+	system  string
+	toGlob  map[uint32]uint32
+	unknown int64
+}
+
+// NewLocalMapping builds a mapping for a local system from its vocabulary:
+// localVocab[localNumber] = term string. Terms absent from the dictionary
+// are interned (the standard grows to cover all locals).
+func NewLocalMapping(system string, dict *Dictionary, localVocab map[uint32]string) (*LocalMapping, error) {
+	m := &LocalMapping{system: system, toGlob: make(map[uint32]uint32, len(localVocab))}
+	// Deterministic interning order: sort local numbers.
+	locals := make([]uint32, 0, len(localVocab))
+	for l := range localVocab {
+		locals = append(locals, l)
+	}
+	sort.Slice(locals, func(i, j int) bool { return locals[i] < locals[j] })
+	for _, l := range locals {
+		g, err := dict.Intern(localVocab[l])
+		if err != nil {
+			return nil, err
+		}
+		m.toGlob[l] = g
+	}
+	return m, nil
+}
+
+// System returns the local system's name.
+func (m *LocalMapping) System() string { return m.system }
+
+// Len returns the number of mapped local terms.
+func (m *LocalMapping) Len() int { return len(m.toGlob) }
+
+// Global translates a local term number.
+func (m *LocalMapping) Global(local uint32) (uint32, bool) {
+	g, ok := m.toGlob[local]
+	return g, ok
+}
+
+// UnknownSeen returns how many untranslatable local numbers RemapDocument
+// has dropped.
+func (m *LocalMapping) UnknownSeen() int64 { return m.unknown }
+
+// RemapDocument renumbers a document from local to standard term numbers.
+// Occurrence counts of local terms mapping to the same standard term are
+// summed; local numbers missing from the mapping are dropped and counted
+// in UnknownSeen.
+func (m *LocalMapping) RemapDocument(d *document.Document) *document.Document {
+	counts := make(map[uint32]int, len(d.Cells))
+	for _, c := range d.Cells {
+		g, ok := m.toGlob[c.Term]
+		if !ok {
+			m.unknown++
+			continue
+		}
+		counts[g] += int(c.Weight)
+	}
+	return document.New(d.ID, counts)
+}
+
+// RemapAll renumbers a slice of documents.
+func (m *LocalMapping) RemapAll(docs []*document.Document) []*document.Document {
+	out := make([]*document.Document, len(docs))
+	for i, d := range docs {
+		out[i] = m.RemapDocument(d)
+	}
+	return out
+}
+
+// SizeBytes estimates the memory footprint of the mapping structure:
+// 2·|t#| bytes per entry (local number → standard number), the figure a
+// cost model should charge when locals have not adopted the standard.
+func (m *LocalMapping) SizeBytes() int64 {
+	return int64(len(m.toGlob)) * 2 * codec.TermNumberSize
+}

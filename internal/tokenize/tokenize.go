@@ -1,0 +1,144 @@
+// Package tokenize converts raw text into the term vectors the join
+// algorithms consume, so that the examples can ingest realistic documents
+// (résumés, job descriptions, abstracts).
+//
+// The pipeline is the standard IR front end the paper's vector
+// representation assumes: lowercase, split on non-alphanumeric runs, drop
+// stopwords and very short tokens, apply a light suffix-stripping stemmer,
+// and count occurrences. Term numbers come from a shared termmap
+// Dictionary — the paper's standard term-number mapping — so that
+// documents tokenized for different collections agree on numbering.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+
+	"textjoin/internal/document"
+	"textjoin/internal/termmap"
+)
+
+// DefaultStopwords is a compact English stopword list sufficient for the
+// examples.
+var DefaultStopwords = []string{
+	"a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from",
+	"has", "have", "he", "her", "his", "i", "in", "is", "it", "its", "of",
+	"on", "or", "our", "she", "that", "the", "their", "they", "this", "to",
+	"was", "we", "were", "will", "with", "you", "your",
+}
+
+// Options configures a Tokenizer.
+type Options struct {
+	// MinLength drops tokens shorter than this many runes (default 2).
+	MinLength int
+	// Stopwords overrides the default stopword list; an empty non-nil
+	// slice disables stopword removal.
+	Stopwords []string
+	// DisableStemming turns the light stemmer off.
+	DisableStemming bool
+}
+
+// Tokenizer turns text into documents using a shared dictionary.
+type Tokenizer struct {
+	dict      *termmap.Dictionary
+	stopwords map[string]bool
+	minLen    int
+	stem      bool
+}
+
+// New creates a tokenizer over the given standard dictionary.
+func New(dict *termmap.Dictionary, opts Options) *Tokenizer {
+	words := opts.Stopwords
+	if words == nil {
+		words = DefaultStopwords
+	}
+	stop := make(map[string]bool, len(words))
+	for _, w := range words {
+		stop[w] = true
+	}
+	minLen := opts.MinLength
+	if minLen == 0 {
+		minLen = 2
+	}
+	return &Tokenizer{dict: dict, stopwords: stop, minLen: minLen, stem: !opts.DisableStemming}
+}
+
+// Dictionary returns the shared dictionary.
+func (t *Tokenizer) Dictionary() *termmap.Dictionary { return t.dict }
+
+// Terms splits text into normalized term strings (after stopword removal
+// and stemming), preserving occurrence multiplicity.
+func (t *Tokenizer) Terms(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if len([]rune(f)) < t.minLen || t.stopwords[f] {
+			continue
+		}
+		if t.stem {
+			f = Stem(f)
+		}
+		if len([]rune(f)) < t.minLen {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Document tokenizes text into a term vector with the given document id,
+// interning new terms into the dictionary.
+func (t *Tokenizer) Document(id uint32, text string) (*document.Document, error) {
+	counts := make(map[uint32]int)
+	for _, term := range t.Terms(text) {
+		n, err := t.dict.Intern(term)
+		if err != nil {
+			return nil, err
+		}
+		counts[n]++
+	}
+	return document.New(id, counts), nil
+}
+
+// Stem applies a light suffix-stripping stemmer (a small subset of
+// Porter's rules — enough to conflate inflectional variants in the
+// examples without a full stemming dependency).
+func Stem(w string) string {
+	n := len(w)
+	switch {
+	case n > 6 && strings.HasSuffix(w, "ational"):
+		return w[:n-7] + "ate"
+	case n > 5 && strings.HasSuffix(w, "ization"):
+		return w[:n-7] + "ize"
+	case n > 4 && strings.HasSuffix(w, "iness"):
+		return w[:n-5] + "y"
+	case n > 4 && strings.HasSuffix(w, "ement"):
+		return w[:n-5]
+	case n > 4 && strings.HasSuffix(w, "ing") && hasVowel(w[:n-3]):
+		return undouble(w[:n-3])
+	case n > 3 && strings.HasSuffix(w, "ies"):
+		return w[:n-3] + "y"
+	case n > 3 && strings.HasSuffix(w, "ed") && hasVowel(w[:n-2]):
+		return undouble(w[:n-2])
+	case n > 2 && strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss"):
+		return w[:n-1]
+	default:
+		return w
+	}
+}
+
+func hasVowel(s string) bool {
+	return strings.ContainsAny(s, "aeiouy")
+}
+
+// undouble collapses a trailing doubled consonant left by suffix
+// stripping ("stopp" → "stop").
+func undouble(s string) string {
+	n := len(s)
+	if n >= 2 && s[n-1] == s[n-2] && !strings.ContainsRune("aeiou", rune(s[n-1])) && s[n-1] != 'l' && s[n-1] != 's' {
+		return s[:n-1]
+	}
+	return s
+}

@@ -1,0 +1,245 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestBasicKeepsBest(t *testing.T) {
+	tk := New(2)
+	tk.Offer(1, 5)
+	tk.Offer(2, 9)
+	tk.Offer(3, 7)
+	tk.Offer(4, 1)
+	got := tk.Results()
+	if len(got) != 2 || got[0] != (Match{2, 9}) || got[1] != (Match{3, 7}) {
+		t.Errorf("Results = %v", got)
+	}
+	if tk.K() != 2 {
+		t.Errorf("K = %d", tk.K())
+	}
+}
+
+func TestZeroSimilarityNeverKept(t *testing.T) {
+	tk := New(3)
+	if tk.Offer(1, 0) {
+		t.Error("Offer(sim=0) kept")
+	}
+	if tk.Offer(2, -1) {
+		t.Error("Offer(sim<0) kept")
+	}
+	if tk.Len() != 0 {
+		t.Errorf("Len = %d", tk.Len())
+	}
+}
+
+func TestFewerThanKCandidates(t *testing.T) {
+	tk := New(10)
+	tk.Offer(5, 3)
+	tk.Offer(6, 8)
+	got := tk.Results()
+	if len(got) != 2 || got[0].Doc != 6 || got[1].Doc != 5 {
+		t.Errorf("Results = %v", got)
+	}
+}
+
+func TestTieBreakByDocID(t *testing.T) {
+	tk := New(2)
+	tk.Offer(9, 5)
+	tk.Offer(3, 5)
+	tk.Offer(7, 5)
+	got := tk.Results()
+	// All sims equal: keep the two smallest doc ids, ordered ascending.
+	if len(got) != 2 || got[0] != (Match{3, 5}) || got[1] != (Match{7, 5}) {
+		t.Errorf("Results = %v", got)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	tk := New(2)
+	if _, full := tk.Threshold(); full {
+		t.Error("empty tracker reports full")
+	}
+	tk.Offer(1, 4)
+	tk.Offer(2, 6)
+	th, full := tk.Threshold()
+	if !full || th != 4 {
+		t.Errorf("Threshold = %v, %v; want 4, true", th, full)
+	}
+	tk.Offer(3, 5) // replaces doc 1
+	th, _ = tk.Threshold()
+	if th != 5 {
+		t.Errorf("Threshold after replace = %v, want 5", th)
+	}
+}
+
+func TestOfferReturnValue(t *testing.T) {
+	tk := New(1)
+	if !tk.Offer(1, 2) {
+		t.Error("first Offer not kept")
+	}
+	if tk.Offer(2, 1) {
+		t.Error("worse Offer kept")
+	}
+	if tk.Offer(2, 2) {
+		t.Error("equal sim higher doc kept over incumbent")
+	}
+	if !tk.Offer(0, 2) {
+		t.Error("equal sim lower doc should replace incumbent")
+	}
+	got := tk.Results()
+	if got[0] != (Match{0, 2}) {
+		t.Errorf("Results = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tk := New(2)
+	tk.Offer(1, 1)
+	tk.Reset()
+	if tk.Len() != 0 {
+		t.Errorf("Len after Reset = %d", tk.Len())
+	}
+	tk.Offer(2, 2)
+	if got := tk.Results(); len(got) != 1 || got[0].Doc != 2 {
+		t.Errorf("Results after Reset = %v", got)
+	}
+}
+
+func TestLessOrdering(t *testing.T) {
+	if !Less(Match{1, 5}, Match{2, 3}) {
+		t.Error("higher sim should come first")
+	}
+	if !Less(Match{1, 5}, Match{2, 5}) {
+		t.Error("equal sim: lower doc first")
+	}
+	if Less(Match{2, 5}, Match{2, 5}) {
+		t.Error("Less(x, x) must be false")
+	}
+}
+
+// referenceSelect is a brute-force top-k used to verify the heap.
+func referenceSelect(k int, candidates []Match) []Match {
+	var pos []Match
+	for _, m := range candidates {
+		if m.Sim > 0 {
+			pos = append(pos, m)
+		}
+	}
+	sort.Slice(pos, func(i, j int) bool { return Less(pos[i], pos[j]) })
+	if len(pos) > k {
+		pos = pos[:k]
+	}
+	return pos
+}
+
+// Property: TopK matches a full sort-and-cut for any candidate stream.
+func TestQuickAgainstReference(t *testing.T) {
+	check := func(seed int64, kSeed uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int(kSeed%20) + 1
+		n := r.Intn(200)
+		candidates := make([]Match, 0, n)
+		tk := New(k)
+		for i := 0; i < n; i++ {
+			m := Match{Doc: uint32(r.Intn(50)), Sim: float64(r.Intn(20))}
+			candidates = append(candidates, m)
+			tk.Offer(m.Doc, m.Sim)
+		}
+		got := tk.Results()
+		want := referenceSelect(k, candidates)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Select agrees with the incremental tracker.
+func TestQuickSelect(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := r.Intn(10) + 1
+		n := r.Intn(100)
+		candidates := make([]Match, n)
+		for i := range candidates {
+			candidates[i] = Match{Doc: uint32(r.Intn(30)), Sim: float64(r.Intn(10)) - 1}
+		}
+		got := Select(k, candidates)
+		want := referenceSelect(k, candidates)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: results are always sorted best-first and within capacity.
+func TestQuickResultsSorted(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := r.Intn(8) + 1
+		tk := New(k)
+		for i := 0; i < 300; i++ {
+			tk.Offer(uint32(r.Intn(100)), r.Float64()*10-1)
+		}
+		got := tk.Results()
+		if len(got) > k {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if Less(got[i], got[i-1]) {
+				return false
+			}
+		}
+		for _, m := range got {
+			if m.Sim <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOffer(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	sims := make([]float64, 4096)
+	for i := range sims {
+		sims[i] = r.Float64()
+	}
+	tk := New(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Offer(uint32(i), sims[i%len(sims)])
+	}
+}

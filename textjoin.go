@@ -1,0 +1,458 @@
+// Package textjoin is a library for processing joins between textual
+// attributes, reproducing Meng, Yu, Wang and Rishe, "Performance Analysis
+// of Several Algorithms for Processing Joins between Textual Attributes"
+// (ICDE 1996).
+//
+// A textual join "C1 SIMILAR_TO(λ) C2" pairs each document of collection
+// C2 with the λ documents of collection C1 most similar to it. The
+// library provides:
+//
+//   - the paper's three join algorithms — HHNL (nested loop over raw
+//     documents), HVNL (documents probing an inverted file through its
+//     B+tree with a frequency-aware entry cache) and VVM (a merge scan of
+//     two inverted files with memory-partitioned accumulation) — over a
+//     byte-accurate simulated paged store that accounts sequential and
+//     random page I/O exactly as the paper's cost model does;
+//   - every cost formula of the paper's Section 5 and the integrated
+//     algorithm that picks the cheapest strategy from collection,
+//     system and query statistics;
+//   - an extended-SQL layer for queries like
+//     "SELECT ... WHERE A.Resume SIMILAR_TO(20) P.Job_descr" with
+//     selection push-down;
+//   - synthetic corpus generation matching the paper's WSJ/FR/DOE
+//     statistics, and the complete Section 6 simulation study.
+//
+// # Quick start
+//
+//	ws := textjoin.NewWorkspace()
+//	c1, _ := ws.NewCollection("resumes", resumeDocs)
+//	c2, _ := ws.NewCollection("jobs", jobDocs)
+//	inv1, _ := ws.BuildInvertedFile(c1)
+//	results, stats, _ := textjoin.Join(textjoin.HVNL,
+//	    textjoin.Inputs{Outer: c2, Inner: c1, InnerInv: inv1},
+//	    textjoin.Options{Lambda: 5, MemoryPages: 1000})
+//
+// See the examples directory for complete programs.
+package textjoin
+
+import (
+	"io"
+
+	"textjoin/internal/cluster"
+	"textjoin/internal/collection"
+	"textjoin/internal/core"
+	"textjoin/internal/corpus"
+	"textjoin/internal/costmodel"
+	"textjoin/internal/document"
+	"textjoin/internal/entrycache"
+	"textjoin/internal/invfile"
+	"textjoin/internal/iosim"
+	"textjoin/internal/query"
+	"textjoin/internal/relation"
+	"textjoin/internal/simulate"
+	"textjoin/internal/stats"
+	"textjoin/internal/termmap"
+	"textjoin/internal/tokenize"
+)
+
+// Core join API.
+type (
+	// Algorithm identifies one of the paper's three join algorithms.
+	Algorithm = core.Algorithm
+	// Inputs bundles the representations a join consumes.
+	Inputs = core.Inputs
+	// Options configures a join run (λ, memory budget, weighting, ...).
+	Options = core.Options
+	// Result holds one outer document's λ best matches.
+	Result = core.Result
+	// Match is one (inner document, similarity) pair.
+	Match = core.Match
+	// JoinStats reports a join's I/O and work counters.
+	JoinStats = core.Stats
+	// Decision explains an integrated-algorithm choice.
+	Decision = core.Decision
+)
+
+// The three algorithms.
+const (
+	HHNL = core.HHNL
+	HVNL = core.HVNL
+	VVM  = core.VVM
+)
+
+// Storage and document model.
+type (
+	// Disk is the simulated paged store with sequential/random I/O
+	// accounting.
+	Disk = iosim.Disk
+	// IOStats are page-read/write counters with the α cost model.
+	IOStats = iosim.Stats
+	// Document is a term vector.
+	Document = document.Document
+	// Cell is one (term, occurrences) vector component.
+	Cell = document.Cell
+	// Weighting selects the similarity function.
+	Weighting = document.Weighting
+	// Collection is an immutable on-disk document collection.
+	Collection = collection.Collection
+	// Subset is a selection over a collection, read with random I/O.
+	Subset = collection.Subset
+	// Reader is a document source: a Collection, a Subset or a Batch.
+	Reader = collection.Reader
+	// Batch is a memory-resident set of query documents joined against
+	// a stored collection (the paper's batch-query scenario; VVM is
+	// inapplicable because a batch has no inverted file).
+	Batch = collection.Batch
+	// InvertedFile is a collection's inverted file with its B+tree.
+	InvertedFile = invfile.InvertedFile
+	// CachePolicy selects HVNL's entry replacement policy.
+	CachePolicy = entrycache.Policy
+)
+
+// Similarity weightings.
+const (
+	// RawTF is the paper's base similarity: dot product of occurrence
+	// counts.
+	RawTF = document.RawTF
+	// Cosine normalizes by the pre-computed document norms.
+	Cosine = document.Cosine
+	// TFIDF weights each term by its squared inverse document
+	// frequency.
+	TFIDF = document.TFIDF
+)
+
+// HVNL cache replacement policies.
+const (
+	// MinOuterDF is the paper's policy: evict the entry whose term is
+	// least frequent in the outer collection.
+	MinOuterDF = entrycache.MinOuterDF
+	// LRU is the ablation baseline.
+	LRU = entrycache.LRU
+)
+
+// Cost model.
+type (
+	// CollectionStats are the statistics (N, K, T) a cost estimate
+	// consumes.
+	CollectionStats = costmodel.Collection
+	// System carries B (memory pages), P (page size) and α.
+	System = costmodel.System
+	// QueryParams carries λ and δ.
+	QueryParams = costmodel.Query
+	// CostInput describes one join for estimation.
+	CostInput = costmodel.Input
+	// Estimate is one algorithm's estimated sequential and worst-case
+	// random cost.
+	Estimate = costmodel.Estimate
+)
+
+// Corpora and simulation.
+type (
+	// Profile describes a synthetic collection's target statistics.
+	Profile = corpus.Profile
+	// SimTable is one regenerated simulation table.
+	SimTable = simulate.Table
+	// Finding is one of the paper's summary findings re-derived.
+	Finding = simulate.Finding
+)
+
+// Query layer.
+type (
+	// Catalog binds relations and textual attributes.
+	Catalog = query.Catalog
+	// Engine executes extended-SQL queries.
+	Engine = query.Engine
+	// TextBinding attaches a collection (and inverted file) to a text
+	// attribute.
+	TextBinding = query.TextBinding
+	// QueryOptions configures query execution.
+	QueryOptions = query.Options
+	// ResultSet is a query's rows plus the planner's explanation.
+	ResultSet = query.ResultSet
+	// Relation is an in-memory table with text attributes.
+	Relation = relation.Relation
+	// Column describes one relation attribute.
+	Column = relation.Column
+	// Value is one attribute value.
+	Value = relation.Value
+	// Dictionary is the standard term-number mapping of Section 3.
+	Dictionary = termmap.Dictionary
+	// LocalMapping translates a local IR system's term numbers to the
+	// standard numbers.
+	LocalMapping = termmap.LocalMapping
+	// Tokenizer converts raw text into term vectors.
+	Tokenizer = tokenize.Tokenizer
+)
+
+// NewLocalMapping builds the memory-resident local → standard term-number
+// mapping for an autonomous IR system from its vocabulary.
+func NewLocalMapping(system string, dict *Dictionary, localVocab map[uint32]string) (*LocalMapping, error) {
+	return termmap.NewLocalMapping(system, dict, localVocab)
+}
+
+// Workspace owns a simulated disk and provides convenience builders.
+type Workspace struct {
+	disk *iosim.Disk
+}
+
+// WorkspaceOption configures a workspace.
+type WorkspaceOption func(*workspaceConfig)
+
+type workspaceConfig struct {
+	pageSize int
+	alpha    float64
+}
+
+// WithPageSize sets the simulated page size in bytes (default 4096).
+func WithPageSize(n int) WorkspaceOption {
+	return func(c *workspaceConfig) { c.pageSize = n }
+}
+
+// WithAlpha sets the random/sequential I/O cost ratio (default 5).
+func WithAlpha(a float64) WorkspaceOption {
+	return func(c *workspaceConfig) { c.alpha = a }
+}
+
+// NewWorkspace creates a workspace over a fresh simulated disk.
+func NewWorkspace(opts ...WorkspaceOption) *Workspace {
+	cfg := workspaceConfig{pageSize: iosim.DefaultPageSize, alpha: iosim.DefaultAlpha}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Workspace{disk: iosim.NewDisk(iosim.WithPageSize(cfg.pageSize), iosim.WithAlpha(cfg.alpha))}
+}
+
+// Disk exposes the underlying simulated disk (for I/O statistics).
+func (w *Workspace) Disk() *Disk { return w.disk }
+
+// ResetIOStats zeroes the disk's I/O counters, typically after the build
+// phase so only join-time I/O is measured.
+func (w *Workspace) ResetIOStats() { w.disk.ResetStats() }
+
+// NewCollection stores documents (ids must be dense from 0) as a
+// collection on the workspace disk.
+func (w *Workspace) NewCollection(name string, docs []*Document) (*Collection, error) {
+	f, err := w.disk.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	b, err := collection.NewBuilder(name, f)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range docs {
+		if err := b.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}
+
+// BuildInvertedFile builds a collection's inverted file and B+tree on the
+// workspace disk.
+func (w *Workspace) BuildInvertedFile(c *Collection) (*InvertedFile, error) {
+	ef, err := w.disk.Create(c.Name() + ".inv")
+	if err != nil {
+		return nil, err
+	}
+	tf, err := w.disk.Create(c.Name() + ".btree")
+	if err != nil {
+		return nil, err
+	}
+	return invfile.Build(c, ef, tf)
+}
+
+// GenerateCorpus synthesizes a collection matching the profile.
+func (w *Workspace) GenerateCorpus(p Profile, seed int64) (*Collection, error) {
+	return corpus.GenerateOn(w.disk, p.Name, p, seed)
+}
+
+// Save serializes the workspace's simulated disk — every collection,
+// inverted file and B+tree — to w, so structures built once can be
+// restored in another process with LoadWorkspace.
+func (w *Workspace) Save(dst io.Writer) (int64, error) {
+	return w.disk.WriteTo(dst)
+}
+
+// LoadWorkspace restores a workspace from a Save snapshot. The restored
+// disk starts with cold heads and zero I/O counters; use OpenCollection
+// and OpenInvertedFile to re-attach handles.
+func LoadWorkspace(src io.Reader) (*Workspace, error) {
+	d, err := iosim.ReadDisk(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Workspace{disk: d}, nil
+}
+
+// OpenCollection re-attaches to a collection of numDocs documents stored
+// under name (one sequential statistics-rebuilding scan).
+func (w *Workspace) OpenCollection(name string, numDocs int64) (*Collection, error) {
+	f, err := w.disk.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return collection.Open(name, f, numDocs)
+}
+
+// OpenInvertedFile re-attaches to the inverted file built for c by
+// BuildInvertedFile.
+func (w *Workspace) OpenInvertedFile(c *Collection) (*InvertedFile, error) {
+	ef, err := w.disk.Open(c.Name() + ".inv")
+	if err != nil {
+		return nil, err
+	}
+	tf, err := w.disk.Open(c.Name() + ".btree")
+	if err != nil {
+		return nil, err
+	}
+	return invfile.Open(ef, tf)
+}
+
+// NewDocument builds a document from a term → occurrences map.
+func NewDocument(id uint32, counts map[uint32]int) *Document {
+	return document.New(id, counts)
+}
+
+// NewBatch wraps ad-hoc query documents as a memory-resident join source:
+// iterating it costs no I/O, and only HHNL and HVNL apply (no inverted
+// file exists for a batch).
+func NewBatch(name string, docs []*Document) (*Batch, error) {
+	return collection.NewBatch(name, docs)
+}
+
+// NewDictionary creates an empty standard term dictionary.
+func NewDictionary() *Dictionary { return termmap.NewDictionary() }
+
+// NewTokenizer creates a tokenizer over a shared dictionary.
+func NewTokenizer(dict *Dictionary) *Tokenizer {
+	return tokenize.New(dict, tokenize.Options{})
+}
+
+// Similarity returns the paper's base similarity of two documents.
+func Similarity(a, b *Document) float64 { return document.Similarity(a, b) }
+
+// Join runs one of the three algorithms.
+func Join(alg Algorithm, in Inputs, opts Options) ([]Result, *JoinStats, error) {
+	return core.Join(alg, in, opts)
+}
+
+// JoinIntegrated estimates all three costs and runs the cheapest
+// algorithm — the paper's integrated algorithm.
+func JoinIntegrated(in Inputs, opts Options) ([]Result, *JoinStats, Decision, error) {
+	return core.JoinIntegrated(in, opts)
+}
+
+// Choose runs only the integrated algorithm's selection step.
+func Choose(in Inputs, opts Options) (Decision, error) {
+	return core.Choose(in, opts)
+}
+
+// EstimateCosts evaluates all six cost formulas of Section 5.
+func EstimateCosts(in CostInput, sys System, q QueryParams) []Estimate {
+	return costmodel.EstimateAll(in, sys, q)
+}
+
+// Profiles returns the paper's WSJ, FR and DOE collection profiles.
+func Profiles() []Profile { return corpus.Profiles() }
+
+// NewCatalog creates an empty query catalog.
+func NewCatalog() *Catalog { return query.NewCatalog() }
+
+// NewEngine creates a query engine over a catalog.
+func NewEngine(cat *Catalog) *Engine { return query.NewEngine(cat) }
+
+// NewRelation creates an in-memory relation.
+func NewRelation(name string, columns []Column) (*Relation, error) {
+	return relation.New(name, columns)
+}
+
+// Attribute types for relation columns.
+const (
+	// StringType is a character attribute.
+	StringType = relation.String
+	// IntType is an integer attribute.
+	IntType = relation.Int
+	// TextType is a textual attribute referencing a document.
+	TextType = relation.Text
+)
+
+// Values.
+var (
+	// StringValue makes a string attribute value.
+	StringValue = relation.StringValue
+	// IntValue makes an integer attribute value.
+	IntValue = relation.IntValue
+	// TextValue makes a text attribute value referencing a document.
+	TextValue = relation.TextValue
+)
+
+// RunSimulation regenerates every analytic table of the paper's Section 6
+// study.
+func RunSimulation() []*SimTable { return simulate.RunAll() }
+
+// RunFindings re-derives the paper's five summary findings.
+func RunFindings() []Finding { return simulate.Findings() }
+
+// Extensions beyond the conference paper (its "further studies" items).
+
+// Extended cost model (CPU + communication, further-studies item 2).
+type (
+	// CPUParams configures CPU-cost accounting in the extended model.
+	CPUParams = costmodel.CPUParams
+	// NetParams configures communication-cost accounting.
+	NetParams = costmodel.NetParams
+	// CostBreakdown decomposes an estimate into I/O, CPU and
+	// communication components.
+	CostBreakdown = costmodel.Breakdown
+)
+
+// EstimateTotalCosts evaluates the extended (I/O + CPU + communication)
+// model for all three algorithms.
+func EstimateTotalCosts(in CostInput, sys System, q QueryParams, cpu CPUParams, net NetParams) []CostBreakdown {
+	return costmodel.EstimateAllTotal(in, sys, q, cpu, net)
+}
+
+// JoinHHNLParallel runs HHNL with the similarity computation fanned out
+// over the given number of workers (0 = GOMAXPROCS); I/O stays
+// single-threaded and results are identical to the serial algorithm
+// (further-studies item 3).
+func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *JoinStats, error) {
+	return core.JoinHHNLParallel(in, opts, workers)
+}
+
+// JoinVVMParallel runs VVM with per-term accumulation fanned out over
+// workers; the merge scan stays single-threaded.
+func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *JoinStats, error) {
+	return core.JoinVVMParallel(in, opts, workers)
+}
+
+// MeasureOverlap returns the measured probability that a distinct term of
+// outer also appears in inner — the paper's q (swap the arguments for p) —
+// computed exactly from the memory-resident document-frequency tables.
+func MeasureOverlap(inner, outer *Collection) float64 {
+	return stats.OverlapQ(inner, outer)
+}
+
+// MeasureDelta estimates δ, the fraction of document pairs with non-zero
+// similarity, from the document-frequency tables under term independence.
+func MeasureDelta(c1, c2 *Collection) float64 {
+	return stats.Delta(c1, c2)
+}
+
+// ClusterOrder returns a greedy storage order for the documents such that
+// neighbors share many terms — the tractable counterpart of the paper's
+// NP-hard optimal-order proposition, realizing its clustered-collection
+// scenario for HVNL.
+func ClusterOrder(docs []*Document) []int { return cluster.GreedyOrder(docs) }
+
+// ClusterCollection materializes a collection reordered by ClusterOrder
+// on the workspace disk, returning the new collection and the mapping
+// from new to original document ids.
+func (w *Workspace) ClusterCollection(name string, src *Collection) (*Collection, []uint32, error) {
+	f, err := w.disk.Create(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cluster.Clustered(name, f, src)
+}

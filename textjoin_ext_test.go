@@ -1,0 +1,158 @@
+package textjoin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tests for the public surface of the extensions (parallel joins,
+// clustered ordering, extended cost model).
+
+func TestPublicParallelJoins(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ws := NewWorkspace(WithPageSize(256))
+	c1, err := ws.NewCollection("c1", randomDocuments(r, 25, 50, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ws.NewCollection("c2", randomDocuments(r, 20, 50, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv1, err := ws.BuildInvertedFile(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv2, err := ws.BuildInvertedFile(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Inputs{Outer: c2, Inner: c1, InnerInv: inv1, OuterInv: inv2}
+	opts := Options{Lambda: 4, MemoryPages: 100}
+
+	serial, _, err := Join(HHNL, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, _, err := JoinHHNLParallel(in, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Outer != parallel[i].Outer || len(serial[i].Matches) != len(parallel[i].Matches) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+
+	vs, _, err := Join(VVM, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, _, err := JoinVVMParallel(in, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if vs[i].Outer != vp[i].Outer || len(vs[i].Matches) != len(vp[i].Matches) {
+			t.Fatalf("VVM row %d differs", i)
+		}
+		for j := range vs[i].Matches {
+			if vs[i].Matches[j].Doc != vp[i].Matches[j].Doc {
+				t.Fatalf("VVM row %d match %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestPublicClusterOrder(t *testing.T) {
+	docs := []*Document{
+		NewDocument(0, map[uint32]int{1: 1, 2: 1}),
+		NewDocument(1, map[uint32]int{50: 1, 51: 1}),
+		NewDocument(2, map[uint32]int{2: 1, 3: 1}),
+		NewDocument(3, map[uint32]int{51: 1, 52: 1}),
+	}
+	order := ClusterOrder(docs)
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	seen := map[int]bool{}
+	for _, i := range order {
+		seen[i] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("not a permutation: %v", order)
+	}
+}
+
+func TestPublicClusterCollection(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ws := NewWorkspace(WithPageSize(256))
+	src, err := ws.NewCollection("src", randomDocuments(r, 15, 30, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, origIDs, err := ws.ClusterCollection("clustered", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustered.NumDocs() != src.NumDocs() || len(origIDs) != 15 {
+		t.Fatalf("clustered N = %d, origIDs = %d", clustered.NumDocs(), len(origIDs))
+	}
+	// Every original id appears exactly once.
+	seen := map[uint32]bool{}
+	for _, id := range origIDs {
+		if seen[id] {
+			t.Fatalf("duplicate original id %d", id)
+		}
+		seen[id] = true
+	}
+	// Content preserved under the mapping.
+	for newID, oldID := range origIDs {
+		a, err1 := clustered.Fetch(uint32(newID))
+		b, err2 := src.Fetch(oldID)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(a.Cells) != len(b.Cells) {
+			t.Fatalf("doc %d content differs", newID)
+		}
+	}
+}
+
+func TestPublicExtendedCostModel(t *testing.T) {
+	in := CostInput{C1: Profiles()[0].Stats(), C2: Profiles()[0].Stats()}
+	sys := System{B: 10000, P: 4096, Alpha: 5}
+	q := QueryParams{Lambda: 20, Delta: 0.1}
+
+	// Zero knobs reproduce the I/O-only estimates.
+	plain := EstimateCosts(in, sys, q)
+	extended := EstimateTotalCosts(in, sys, q, CPUParams{}, NetParams{})
+	if len(extended) != 3 {
+		t.Fatalf("breakdowns = %v", extended)
+	}
+	for i, b := range extended {
+		if b.CPU != 0 || b.Comm != 0 {
+			t.Errorf("%v: non-zero knobs at defaults: %+v", b.Algorithm, b)
+		}
+		if math.Abs(b.IO-plain[i].Seq) > 1e-9 {
+			t.Errorf("%v: IO %v != plain seq %v", b.Algorithm, b.IO, plain[i].Seq)
+		}
+	}
+
+	// Turning the knobs adds cost.
+	loaded := EstimateTotalCosts(in, sys, q,
+		CPUParams{OpsPerPageRead: 1e6},
+		NetParams{CostPerPage: 1, C1Remote: true})
+	for i, b := range loaded {
+		if b.CPU <= 0 || b.Comm <= 0 {
+			t.Errorf("%v: knobs had no effect: %+v", b.Algorithm, b)
+		}
+		if b.Total() <= extended[i].Total() {
+			t.Errorf("%v: total did not grow", b.Algorithm)
+		}
+	}
+}
