@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test verify bench race
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# verify is the CI gate for the concurrent join paths: vet everything,
+# then race-check the packages with goroutines (owner-sharded parallel
+# VVM, parallel HHNL) and the accumulator layer they share.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core/... ./internal/accum/...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

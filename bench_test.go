@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"textjoin/internal/accum"
 	"textjoin/internal/cluster"
 	"textjoin/internal/collection"
 	"textjoin/internal/core"
@@ -381,6 +382,125 @@ func BenchmarkParallelJoins(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+	// A fixed worker count exposes the owner-sharded routing cost even
+	// when GOMAXPROCS is low (workers=0 may degenerate to serial).
+	b.Run("VVM-parallel-4w", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.JoinVVMParallel(env.in, opts, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// accumWorkload is a fixed random stream of (row, inner, v) adds shaped
+// like one VVM pass: rows×cols pair space, nnz distinct non-zero pairs,
+// several adds per pair (one per shared term).
+type accumWorkload struct {
+	rows, cols int
+	rowIdx     []int
+	innerIdx   []uint32
+	val        []float64
+}
+
+func newAccumWorkload(rows, cols, nnz, addsPerPair int) *accumWorkload {
+	r := rand.New(rand.NewSource(11))
+	w := &accumWorkload{rows: rows, cols: cols}
+	for p := 0; p < nnz; p++ {
+		row, inner := r.Intn(rows), uint32(r.Intn(cols))
+		for a := 0; a < addsPerPair; a++ {
+			w.rowIdx = append(w.rowIdx, row)
+			w.innerIdx = append(w.innerIdx, inner)
+			w.val = append(w.val, float64(r.Intn(40)+1))
+		}
+	}
+	return w
+}
+
+// BenchmarkAccumVVM compares the per-pass similarity stores on the same
+// add stream: the old map[uint64]float64, the open-addressing table, and
+// the dense matrix. One op is a full pass: accumulate + drain.
+func BenchmarkAccumVVM(b *testing.B) {
+	w := newAccumWorkload(512, 1024, 40000, 4)
+	drain := func(a accum.Accumulator) float64 {
+		var sum float64
+		a.ForEach(func(row int, inner uint32, v float64) { sum += v })
+		return sum
+	}
+	b.Run("map", func(b *testing.B) {
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			m := make(map[uint64]float64)
+			for j, row := range w.rowIdx {
+				m[uint64(row)<<32|uint64(w.innerIdx[j])] += w.val[j]
+			}
+			for _, v := range m {
+				sum += v
+			}
+		}
+		_ = sum
+	})
+	b.Run("table", func(b *testing.B) {
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			t := accum.NewTable(0)
+			for j, row := range w.rowIdx {
+				t.Add(row, w.innerIdx[j], w.val[j])
+			}
+			sum += drain(t)
+		}
+		_ = sum
+	})
+	b.Run("dense", func(b *testing.B) {
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			d := accum.NewDense(w.rows, w.cols)
+			for j, row := range w.rowIdx {
+				d.Add(row, w.innerIdx[j], w.val[j])
+			}
+			sum += drain(d)
+		}
+		_ = sum
+	})
+}
+
+// BenchmarkAccumHVNL compares HVNL's per-outer-document store — the old
+// map[uint32]float64 versus the flat touched-list accumulator — on a
+// stream of documents reusing one accumulator (as JoinHVNL now does).
+func BenchmarkAccumHVNL(b *testing.B) {
+	const n1, perDoc = 4096, 600
+	r := rand.New(rand.NewSource(12))
+	ids := make([]uint32, perDoc)
+	vals := make([]float64, perDoc)
+	for i := range ids {
+		ids[i] = uint32(r.Intn(n1))
+		vals[i] = float64(r.Intn(40) + 1)
+	}
+	b.Run("map", func(b *testing.B) {
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			m := make(map[uint32]float64)
+			for j, id := range ids {
+				m[id] += vals[j]
+			}
+			for _, v := range m {
+				sum += v
+			}
+		}
+		_ = sum
+	})
+	b.Run("flat", func(b *testing.B) {
+		f := accum.NewFlat(n1)
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			for j, id := range ids {
+				f.Add(id, vals[j])
+			}
+			f.ForEach(func(id uint32, v float64) { sum += v })
+			f.Reset()
+		}
+		_ = sum
 	})
 }
 

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"textjoin/internal/document"
+	"textjoin/internal/iosim"
+)
+
+// The accumulator layer (internal/accum) must be invisible in results:
+// dense and open-addressing passes, serial and owner-sharded parallel
+// workers, full collections and selections all produce byte-identical
+// top-λ lists. These tests pin that across the regime boundaries.
+
+// TestVVMAccumulatorRegimes runs the same join in the dense regime (one
+// roomy pass), the open-addressing regime (δ=1 forces the sparse estimate
+// over budget) and a many-pass split, expecting identical results.
+func TestVVMAccumulatorRegimes(t *testing.T) {
+	e := buildEnv(t, 51, 45, 38, 70, 16, 128)
+	base, baseStats, err := JoinVVM(e.inputs(), Options{Lambda: 4, MemoryPages: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseStats.Passes != 1 {
+		t.Fatalf("base run: %d passes, want 1 (dense single pass)", baseStats.Passes)
+	}
+	for _, opts := range []Options{
+		{Lambda: 4, MemoryPages: 12, Delta: 1.0}, // sparse, multi-pass
+		{Lambda: 4, MemoryPages: 20, Delta: 0.5},
+	} {
+		got, gotStats, err := JoinVVM(e.inputs(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotStats.Passes <= 1 {
+			t.Fatalf("opts %+v: %d passes, want a multi-pass split", opts, gotStats.Passes)
+		}
+		if err := sameResults(base, got); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+// TestVVMParallelIdentity is the tentpole's identity matrix: parallel VVM
+// against serial VVM across all three weightings and worker counts
+// {1, 2, 7}, in both single-pass and partitioned runs.
+func TestVVMParallelIdentity(t *testing.T) {
+	e := buildEnv(t, 52, 40, 33, 60, 14, 128)
+	for _, weighting := range []document.Weighting{document.RawTF, document.Cosine, document.TFIDF} {
+		for _, opts := range []Options{
+			{Lambda: 5, MemoryPages: 2000, Weighting: weighting},
+			{Lambda: 5, MemoryPages: 10, Delta: 1.0, Weighting: weighting},
+		} {
+			serial, serialStats, err := JoinVVM(e.inputs(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 7} {
+				par, parStats, err := JoinVVMParallel(e.inputs(), opts, workers)
+				if err != nil {
+					t.Fatalf("%v workers=%d: %v", weighting, workers, err)
+				}
+				if err := sameResults(serial, par); err != nil {
+					t.Fatalf("%v workers=%d: %v", weighting, workers, err)
+				}
+				if parStats.Accumulations != serialStats.Accumulations {
+					t.Errorf("%v workers=%d: accumulations %d vs %d", weighting, workers, parStats.Accumulations, serialStats.Accumulations)
+				}
+				if parStats.Passes != serialStats.Passes {
+					t.Errorf("%v workers=%d: passes %d vs %d", weighting, workers, parStats.Passes, serialStats.Passes)
+				}
+			}
+		}
+	}
+}
+
+// TestVVMSubsetAcrossRegimes joins a scattered selection (exercising the
+// IDSet bitmap/binary-search paths rather than the contiguous fast path)
+// under both accumulator regimes, serial and parallel, against the
+// brute-force reference.
+func TestVVMSubsetAcrossRegimes(t *testing.T) {
+	e := buildEnv(t, 53, 35, 40, 55, 12, 128)
+	sub, err := e.c2.Subset([]uint32{0, 3, 4, 11, 17, 18, 19, 31, 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Inputs{Outer: sub, Inner: e.c1, InnerInv: e.inv1, OuterInv: e.inv2}
+	scorer, err := in.scorer(Options{}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference(t, sub, e.c1, 4, scorer)
+	for _, opts := range []Options{
+		{Lambda: 4, MemoryPages: 2000},           // dense
+		{Lambda: 4, MemoryPages: 10, Delta: 1.0}, // sparse, partitioned
+	} {
+		got, _, err := JoinVVM(in, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameResults(want, got); err != nil {
+			t.Fatalf("serial opts %+v: %v", opts, err)
+		}
+		for _, workers := range []int{2, 7} {
+			par, _, err := JoinVVMParallel(in, opts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sameResults(want, par); err != nil {
+				t.Fatalf("parallel workers=%d opts %+v: %v", workers, opts, err)
+			}
+		}
+	}
+}
+
+// TestQuickAccumRegimesEqual property-tests that memory budget (and with
+// it the dense/sparse accumulator choice and the pass split) never
+// changes any algorithm's results, on random corpora and random subsets.
+func TestQuickAccumRegimesEqual(t *testing.T) {
+	check := func(seed int64, pages16 uint16, subset bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := iosim.NewDisk(iosim.WithPageSize(128))
+		c1 := buildColl(t, d, "c1", randomDocs(r, r.Intn(25)+1, 50, 10))
+		c2 := buildColl(t, d, "c2", randomDocs(r, r.Intn(25)+1, 50, 10))
+		inv1 := buildInv(t, d, c1, "c1")
+		inv2 := buildInv(t, d, c2, "c2")
+		in := Inputs{Outer: c2, Inner: c1, InnerInv: inv1, OuterInv: inv2}
+		if subset {
+			ids := make([]uint32, 0, c2.NumDocs())
+			for id := int64(0); id < c2.NumDocs(); id++ {
+				if r.Intn(2) == 0 {
+					ids = append(ids, uint32(id))
+				}
+			}
+			sub, err := c2.Subset(ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in.Outer = sub
+		}
+		roomy := Options{Lambda: r.Intn(5) + 1, MemoryPages: 5000}
+		tight := roomy
+		tight.MemoryPages = int64(pages16%40) + 6
+		tight.Delta = 1.0
+
+		want, _, err := JoinVVM(in, roomy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := JoinVVM(in, tight)
+		if err != nil {
+			// A tiny budget may be legitimately insufficient.
+			return errors.Is(err, ErrInsufficientMemory)
+		}
+		if sameResults(want, got) != nil {
+			return false
+		}
+		par, _, err := JoinVVMParallel(in, tight, r.Intn(7)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sameResults(want, par) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -3,8 +3,9 @@ package core
 import (
 	"fmt"
 	"io"
-	"sort"
 
+	"textjoin/internal/accum"
+	"textjoin/internal/document"
 	"textjoin/internal/entrycache"
 	"textjoin/internal/iosim"
 	"textjoin/internal/topk"
@@ -28,6 +29,9 @@ import (
 //     already cached are consumed first.
 //   - Only non-zero intermediate similarities are stored; the memory
 //     reservation for them is 4·N1·δ bytes, exactly the paper's estimate.
+//     The store itself is an accum.Flat — inner ids are contiguous
+//     0..N1-1, so each accumulation is one indexed add and the touched
+//     list keeps reset and iteration proportional to the non-zero count.
 //
 // The cache budget realizes the paper's X (number of resident entries):
 // B·P bytes minus one outer document (⌈S2⌉ pages), the B+tree (Bt1 pages),
@@ -120,7 +124,8 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 		}
 	}
 	var results []Result
-	acc := make(map[uint32]float64)
+	acc := accum.NewFlat(int(in.Inner.NumDocs()))
+	var ordered []document.Cell // reusable cached-first ordering scratch
 
 	outer := in.Outer.Documents()
 	for {
@@ -134,57 +139,57 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 		stats.OuterDocs++
 
 		// Order terms: cached entries first (the paper's reuse
-		// optimization), then the rest in term order.
-		terms := make([]uint32, 0, len(d2.Cells))
-		weights := make(map[uint32]uint16, len(d2.Cells))
+		// optimization), then the rest in term order. Cells are already
+		// term-sorted, so a stable two-pass split needs no sort and no
+		// per-document allocation.
+		ordered = ordered[:0]
 		for _, c := range d2.Cells {
-			terms = append(terms, c.Term)
-			weights[c.Term] = c.Weight
-		}
-		sort.Slice(terms, func(i, j int) bool {
-			ci, cj := cache.Contains(terms[i]), cache.Contains(terms[j])
-			if ci != cj {
-				return ci
+			if cache.Contains(c.Term) {
+				ordered = append(ordered, c)
 			}
-			return terms[i] < terms[j]
-		})
+		}
+		for _, c := range d2.Cells {
+			if !cache.Contains(c.Term) {
+				ordered = append(ordered, c)
+			}
+		}
 
-		for _, term := range terms {
-			if !index.Contains(term) {
+		for _, c := range ordered {
+			if !index.Contains(c.Term) {
 				continue // term does not appear in C1
 			}
-			entry, ok := cache.Get(term)
+			entry, ok := cache.Get(c.Term)
 			if !ok {
-				entry, err = in.InnerInv.FetchEntry(term)
+				entry, err = in.InnerInv.FetchEntry(c.Term)
 				if err != nil {
 					return nil, nil, err
 				}
 				stats.EntryFetches++
 				// Cache charge: packed entry size plus the 3-byte term
 				// list slot.
-				cache.Put(term, entry, entry.Bytes()+3)
+				cache.Put(c.Term, entry, entry.Bytes()+3)
 			}
-			factor := scorer.TermFactor(term)
+			factor := scorer.TermFactor(c.Term)
 			if factor == 0 {
 				continue
 			}
-			w := float64(weights[term])
+			w := float64(c.Weight)
 			for _, cell := range entry.Cells {
-				acc[cell.Number] += w * float64(cell.Weight) * factor
-				stats.Accumulations++
+				acc.Add(cell.Number, w*float64(cell.Weight)*factor)
 			}
+			stats.Accumulations += int64(len(entry.Cells))
 		}
 
 		tk := topk.New(opts.Lambda)
-		for d1, raw := range acc {
+		acc.ForEach(func(d1 uint32, raw float64) {
 			tk.Offer(d1, scorer.Finalize(d2.ID, d1, raw))
-		}
+		})
 		results = append(results, Result{Outer: d2.ID, Matches: tk.Results()})
 
 		if mem := cache.Used() + btreeBytes + accBytes + outerDocBytes; mem > stats.PeakMemoryBytes {
 			stats.PeakMemoryBytes = mem
 		}
-		clear(acc)
+		acc.Reset()
 	}
 
 	stats.Cache = cache.Stats()

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 
+	"textjoin/internal/accum"
+	"textjoin/internal/codec"
 	"textjoin/internal/document"
 	"textjoin/internal/invfile"
 	"textjoin/internal/topk"
@@ -38,7 +41,8 @@ func resolveWorkers(n int) int {
 // inner collection scanned exactly as in the serial algorithm (same I/O,
 // same batches); chunks of scanned inner documents are handed to a worker
 // pool, each worker scoring them against the whole resident batch into
-// its own trackers, merged per batch.
+// its own trackers, merged per batch. Chunk slices are recycled through a
+// sync.Pool so the steady state allocates nothing per chunk.
 func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -63,6 +67,10 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 	track := trackIO(in.Outer.File(), in.Inner.File())
 
 	const chunkSize = 64
+	chunkPool := sync.Pool{New: func() any {
+		s := make([]*document.Document, 0, chunkSize)
+		return &s
+	}}
 
 	var results []Result
 	outer := in.Outer.Documents()
@@ -119,7 +127,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		}
 		compCounts := make([]int64, nWorkers)
 
-		chunks := make(chan []*document.Document, nWorkers)
+		chunks := make(chan *[]*document.Document, nWorkers)
 		var wg sync.WaitGroup
 		for w := 0; w < nWorkers; w++ {
 			wg.Add(1)
@@ -127,12 +135,14 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 				defer wg.Done()
 				ts := workerTrackers[w]
 				for chunk := range chunks {
-					for _, d1 := range chunk {
+					for _, d1 := range *chunk {
 						for i, d2 := range batch {
 							ts[i].Offer(d1.ID, scorer.Score(d2, d1))
-							compCounts[w]++
 						}
 					}
+					compCounts[w] += int64(len(*chunk)) * int64(len(batch))
+					*chunk = (*chunk)[:0]
+					chunkPool.Put(chunk)
 				}
 			}(w)
 		}
@@ -140,7 +150,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		// Single-threaded sequential scan of the inner collection.
 		var scanErr error
 		inner := in.Inner.Scan()
-		chunk := make([]*document.Document, 0, chunkSize)
+		chunk := chunkPool.Get().(*[]*document.Document)
 		for {
 			d1, err := inner.Next()
 			if err == io.EOF {
@@ -150,13 +160,13 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 				scanErr = err
 				break
 			}
-			chunk = append(chunk, d1)
-			if len(chunk) == chunkSize {
+			*chunk = append(*chunk, d1)
+			if len(*chunk) == chunkSize {
 				chunks <- chunk
-				chunk = make([]*document.Document, 0, chunkSize)
+				chunk = chunkPool.Get().(*[]*document.Document)
 			}
 		}
-		if len(chunk) > 0 && scanErr == nil {
+		if len(*chunk) > 0 && scanErr == nil {
 			chunks <- chunk
 		}
 		close(chunks)
@@ -183,12 +193,26 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 	return results, stats, nil
 }
 
-// JoinVVMParallel is VVM with the per-term accumulation fanned out:
-// worker w owns the outer documents with id ≡ w (mod workers), the merge
-// scan stays single-threaded (one sequential sweep of each inverted file
-// per pass, exactly as serial VVM), and each common-term entry pair is
-// broadcast to all workers, which accumulate only their own outer
-// documents. Partitioning (⌈SM/M⌉ passes) is unchanged.
+// vvmTermWork is one worker's share of a common-term entry pair: the
+// worker-owned contiguous sub-slice of the outer entry's i-cells, plus the
+// shared (read-only) inner entry.
+type vvmTermWork struct {
+	factor float64
+	e1     *invfile.Entry
+	cells  []codec.Cell
+}
+
+// JoinVVMParallel is VVM with the per-term accumulation fanned out by
+// outer-document ownership. Worker w owns a contiguous block of the
+// pass's outer-id ranks, so the merge-scan goroutine (still one
+// sequential sweep of each inverted file per pass, exactly as serial VVM)
+// splits each outer entry's cell list by owner with binary searches and
+// routes each worker only its own sub-slice — no worker ever scans cells
+// it does not own. Each worker accumulates into its own accum shard
+// (dense rows or an open-addressing table, mirroring the serial regime
+// choice) and emits the results for its rank block directly, so the
+// finalize/top-λ phase parallelizes too. Partitioning (⌈SM/M⌉ passes) is
+// unchanged.
 func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -208,67 +232,107 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 		return nil, nil, err
 	}
 
-	outerIDs, passes, stats, track, err := vvmPlan(in, opts)
+	plan, err := vvmPlan(in, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-
-	type termWork struct {
-		factor float64
-		e1, e2 *invfile.Entry
-	}
+	stats := plan.stats
+	n1 := int(in.Inner.NumDocs())
 
 	var results []Result
-	for p := 0; p < passes; p++ {
-		lo := p * len(outerIDs) / passes
-		hi := (p + 1) * len(outerIDs) / passes
-		rangeIDs := outerIDs[lo:hi]
+	for p := 0; p < plan.passes; p++ {
+		rangeIDs := plan.rangeIDs(p)
 		if len(rangeIDs) == 0 {
 			continue
 		}
 		stats.Passes++
+		set := accum.NewIDSet(rangeIDs)
+		dense := accum.UseDense(len(rangeIDs), n1, plan.passBytes)
 
-		inRange := make(map[uint32]int, len(rangeIDs)) // outer id -> owning worker
-		for i, id := range rangeIDs {
-			inRange[id] = i % nWorkers
+		// Ownership: worker w owns the contiguous rank block
+		// [blocks[w], blocks[w+1]) of the (ascending) rangeIDs.
+		blocks := make([]int, nWorkers+1)
+		for w := range blocks {
+			blocks[w] = w * len(rangeIDs) / nWorkers
 		}
 
-		accs := make([]map[uint64]float64, nWorkers)
-		chans := make([]chan termWork, nWorkers)
-		var wg sync.WaitGroup
+		accs := make([]accum.Accumulator, nWorkers)
+		chans := make([]chan vvmTermWork, nWorkers)
 		accCounts := make([]int64, nWorkers)
+		passResults := make([]Result, len(rangeIDs))
+		var wg sync.WaitGroup
 		for w := 0; w < nWorkers; w++ {
-			accs[w] = make(map[uint64]float64)
-			chans[w] = make(chan termWork, 128)
+			rankLo, rankHi := blocks[w], blocks[w+1]
+			if dense {
+				accs[w] = accum.NewDense(rankHi-rankLo, n1)
+			} else {
+				accs[w] = accum.NewTable(0)
+			}
+			chans[w] = make(chan vvmTermWork, 128)
 			wg.Add(1)
-			go func(w int) {
+			go func(w, rankLo, rankHi int) {
 				defer wg.Done()
 				acc := accs[w]
+				var count int64
 				for tw := range chans[w] {
-					for _, c2 := range tw.e2.Cells {
-						owner, ok := inRange[c2.Number]
-						if !ok || owner != w {
+					for _, c2 := range tw.cells {
+						rank, ok := set.Rank(c2.Number)
+						if !ok {
 							continue
 						}
 						v := float64(c2.Weight) * tw.factor
-						base := uint64(c2.Number) << 32
+						row := rank - rankLo
 						for _, c1 := range tw.e1.Cells {
-							acc[base|uint64(c1.Number)] += float64(c1.Weight) * v
-							accCounts[w]++
+							acc.Add(row, c1.Number, float64(c1.Weight)*v)
 						}
+						count += int64(len(tw.e1.Cells))
 					}
 				}
-			}(w)
+				accCounts[w] = count
+
+				// Finalize this worker's own rank block. Blocks are
+				// disjoint slices of passResults, so no locking.
+				trackers := make([]*topk.TopK, rankHi-rankLo)
+				acc.ForEach(func(row int, inner uint32, raw float64) {
+					tk := trackers[row]
+					if tk == nil {
+						tk = topk.New(opts.Lambda)
+						trackers[row] = tk
+					}
+					tk.Offer(inner, scorer.Finalize(rangeIDs[rankLo+row], inner, raw))
+				})
+				for row := range trackers {
+					var matches []Match
+					if tk := trackers[row]; tk != nil {
+						matches = tk.Results()
+					}
+					passResults[rankLo+row] = Result{Outer: rangeIDs[rankLo+row], Matches: matches}
+				}
+			}(w, rankLo, rankHi)
 		}
 
+		// Route each common-term pair: both the entry's cells and the rank
+		// blocks ascend by document number, so one forward sweep with a
+		// binary search per block boundary splits the cell list.
 		scanErr := mergeScan(in.InnerInv, in.OuterInv, func(term uint32, e1, e2 *invfile.Entry) {
 			factor := scorer.TermFactor(term)
 			if factor == 0 {
 				return
 			}
-			tw := termWork{factor: factor, e1: e1, e2: e2}
-			for w := 0; w < nWorkers; w++ {
-				chans[w] <- tw
+			cells := e2.Cells
+			i := 0
+			for w := 0; w < nWorkers && i < len(cells); w++ {
+				rankLo, rankHi := blocks[w], blocks[w+1]
+				if rankLo == rankHi {
+					continue
+				}
+				loID, hiID := rangeIDs[rankLo], rangeIDs[rankHi-1]
+				start := i + sort.Search(len(cells)-i, func(k int) bool { return cells[i+k].Number >= loID })
+				end := start + sort.Search(len(cells)-start, func(k int) bool { return cells[start+k].Number > hiID })
+				i = end
+				if start < end {
+					chans[w] <- vvmTermWork{factor: factor, e1: e1, cells: cells[start:end]}
+				}
 			}
 		})
 		for w := 0; w < nWorkers; w++ {
@@ -278,37 +342,17 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 		if scanErr != nil {
 			return nil, nil, scanErr
 		}
-		for _, c := range accCounts {
-			stats.Accumulations += c
-		}
-
-		perOuter := make(map[uint32]*topk.TopK, len(rangeIDs))
 		var memBytes int64
-		for _, acc := range accs {
-			memBytes += int64(len(acc)) * 12
-			for key, raw := range acc {
-				outerDoc := uint32(key >> 32)
-				innerDoc := uint32(key & 0xffffffff)
-				tk := perOuter[outerDoc]
-				if tk == nil {
-					tk = topk.New(opts.Lambda)
-					perOuter[outerDoc] = tk
-				}
-				tk.Offer(innerDoc, scorer.Finalize(outerDoc, innerDoc, raw))
-			}
+		for w, c := range accCounts {
+			stats.Accumulations += c
+			memBytes += accs[w].Bytes()
 		}
 		if memBytes > stats.PeakMemoryBytes {
 			stats.PeakMemoryBytes = memBytes
 		}
-		for _, id := range sortedCopy(rangeIDs) {
-			var matches []Match
-			if tk := perOuter[id]; tk != nil {
-				matches = tk.Results()
-			}
-			results = append(results, Result{Outer: id, Matches: matches})
-		}
+		results = append(results, passResults...)
 	}
-	stats.IO = track.delta()
+	stats.IO = plan.track.delta()
 	stats.Cost = stats.IO.Cost(alpha(in.InnerInv.File()))
 	return results, stats, nil
 }

@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 	"io"
-	"sort"
 
+	"textjoin/internal/accum"
 	"textjoin/internal/collection"
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
@@ -23,6 +23,10 @@ import (
 // size SM = 4·δ·N1·N2 bytes exceeds the available memory
 // M = (B − ⌈J1⌉ − ⌈J2⌉)·P, the outer collection is divided into ⌈SM/M⌉
 // ranges and both inverted files are re-scanned once per range.
+//
+// The per-pass similarity store is an accum.Accumulator: a dense
+// range×N1 matrix when it fits M, an open-addressing table otherwise —
+// never a Go map, whose hashing dominated the accumulation hot loop.
 //
 // When Inputs.Outer is a selection subset, only i-cells of its documents
 // accumulate — but the inverted files are still scanned in full, the
@@ -47,25 +51,22 @@ func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
 		return nil, nil, err
 	}
 
-	outerIDs, passes, stats, track, err := vvmPlan(in, opts)
+	plan, err := vvmPlan(in, opts)
 	if err != nil {
 		return nil, nil, err
 	}
+	stats := plan.stats
+	n1 := int(in.Inner.NumDocs())
 
 	var results []Result
-	acc := make(map[uint64]float64)
-	for p := 0; p < passes; p++ {
-		lo := p * len(outerIDs) / passes
-		hi := (p + 1) * len(outerIDs) / passes
-		rangeIDs := outerIDs[lo:hi]
+	for p := 0; p < plan.passes; p++ {
+		rangeIDs := plan.rangeIDs(p)
 		if len(rangeIDs) == 0 {
 			continue
 		}
-		inRange := make(map[uint32]bool, len(rangeIDs))
-		for _, id := range rangeIDs {
-			inRange[id] = true
-		}
 		stats.Passes++
+		set := accum.NewIDSet(rangeIDs)
+		acc := accum.New(len(rangeIDs), n1, plan.passBytes)
 
 		if err := mergeScan(in.InnerInv, in.OuterInv, func(term uint32, e1, e2 *invfile.Entry) {
 			factor := scorer.TermFactor(term)
@@ -73,55 +74,73 @@ func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
 				return
 			}
 			for _, c2 := range e2.Cells {
-				if !inRange[c2.Number] {
+				row, ok := set.Rank(c2.Number)
+				if !ok {
 					continue
 				}
 				v := float64(c2.Weight) * factor
-				base := uint64(c2.Number) << 32
 				for _, c1 := range e1.Cells {
-					acc[base|uint64(c1.Number)] += float64(c1.Weight) * v
-					stats.Accumulations++
+					acc.Add(row, c1.Number, float64(c1.Weight)*v)
 				}
+				stats.Accumulations += int64(len(e1.Cells))
 			}
 		}); err != nil {
 			return nil, nil, err
 		}
 
-		if mem := int64(len(acc)) * 12; mem > stats.PeakMemoryBytes {
+		if mem := acc.Bytes(); mem > stats.PeakMemoryBytes {
 			stats.PeakMemoryBytes = mem
 		}
 
 		// Emit the λ best matches for every outer document in the range,
-		// including documents with no non-zero similarity.
-		perOuter := make(map[uint32]*topk.TopK, len(rangeIDs))
-		for key, raw := range acc {
-			outer := uint32(key >> 32)
-			inner := uint32(key & 0xffffffff)
-			tk := perOuter[outer]
+		// including documents with no non-zero similarity. rangeIDs is
+		// ascending, so row order is emission order.
+		trackers := make([]*topk.TopK, len(rangeIDs))
+		acc.ForEach(func(row int, inner uint32, raw float64) {
+			tk := trackers[row]
 			if tk == nil {
 				tk = topk.New(opts.Lambda)
-				perOuter[outer] = tk
+				trackers[row] = tk
 			}
-			tk.Offer(inner, scorer.Finalize(outer, inner, raw))
-		}
-		for _, id := range sortedCopy(rangeIDs) {
+			tk.Offer(inner, scorer.Finalize(rangeIDs[row], inner, raw))
+		})
+		for row, id := range rangeIDs {
 			var matches []Match
-			if tk := perOuter[id]; tk != nil {
+			if tk := trackers[row]; tk != nil {
 				matches = tk.Results()
 			}
 			results = append(results, Result{Outer: id, Matches: matches})
 		}
-		clear(acc)
 	}
 
-	stats.IO = track.delta()
+	stats.IO = plan.track.delta()
 	stats.Cost = stats.IO.Cost(alpha(in.InnerInv.File()))
 	return results, stats, nil
 }
 
-// vvmPlan computes the outer id list, pass count, base statistics and I/O
-// tracker shared by the serial and parallel VVM variants.
-func vvmPlan(in Inputs, opts Options) ([]uint32, int, *Stats, *ioTracker, error) {
+// vvmPlanned is the partitioning shared by the serial and parallel VVM
+// variants: the outer id list (always ascending — 0..N2-1 for a full
+// collection, Subset.IDs order for a selection), the pass count, and the
+// per-pass accumulator budget M in bytes.
+type vvmPlanned struct {
+	outerIDs  []uint32
+	passes    int
+	passBytes int64
+	stats     *Stats
+	track     *ioTracker
+}
+
+// rangeIDs returns pass p's slice of the outer ids.
+func (pl *vvmPlanned) rangeIDs(p int) []uint32 {
+	lo := p * len(pl.outerIDs) / pl.passes
+	hi := (p + 1) * len(pl.outerIDs) / pl.passes
+	return pl.outerIDs[lo:hi]
+}
+
+// vvmPlan computes the outer id list, pass count, pass memory budget, base
+// statistics and I/O tracker shared by the serial and parallel VVM
+// variants.
+func vvmPlan(in Inputs, opts Options) (*vvmPlanned, error) {
 	// The outer document ids to join: all of C2, or the selection.
 	var outerIDs []uint32
 	if sub, ok := in.Outer.(*collection.Subset); ok {
@@ -143,7 +162,7 @@ func vvmPlan(in Inputs, opts Options) ([]uint32, int, *Stats, *ioTracker, error)
 	j2Pages := iosim.PagesForBytes(int64(in.OuterInv.Stats().J*float64(pageSize)+0.999), int(pageSize))
 	mBytes := opts.MemoryPages*pageSize - (j1Pages+j2Pages)*pageSize
 	if mBytes <= 0 {
-		return nil, 0, nil, nil, fmt.Errorf("%w: B=%d pages cannot hold one inverted entry from each file", ErrInsufficientMemory, opts.MemoryPages)
+		return nil, fmt.Errorf("%w: B=%d pages cannot hold one inverted entry from each file", ErrInsufficientMemory, opts.MemoryPages)
 	}
 	passes := 1
 	if smBytes > mBytes {
@@ -165,16 +184,7 @@ func vvmPlan(in Inputs, opts Options) ([]uint32, int, *Stats, *ioTracker, error)
 		treeFiles = append(treeFiles, in.OuterInv.Tree().File())
 	}
 	track := trackIO(append([]*iosim.File{in.InnerInv.File(), in.OuterInv.File()}, treeFiles...)...)
-	return outerIDs, passes, stats, track, nil
-}
-
-// sortedCopy returns the ids in ascending order without mutating the
-// input.
-func sortedCopy(ids []uint32) []uint32 {
-	out := make([]uint32, len(ids))
-	copy(out, ids)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return &vvmPlanned{outerIDs: outerIDs, passes: passes, passBytes: mBytes, stats: stats, track: track}, nil
 }
 
 // mergeScan runs one parallel scan over both inverted files, invoking fn
@@ -199,12 +209,10 @@ func mergeScan(inner, outer *invfile.InvertedFile, fn func(term uint32, e1, e2 *
 	// Drain the longer file so both scans cost their full sequential
 	// sweep, as the paper's one-scan cost I1 + I2 assumes.
 	for err1 == nil {
-		e1, err1 = s1.Next()
-		_ = e1
+		_, err1 = s1.Next()
 	}
 	for err2 == nil {
-		e2, err2 = s2.Next()
-		_ = e2
+		_, err2 = s2.Next()
 	}
 	if err1 != io.EOF {
 		return err1
