@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench race
+.PHONY: build test verify bench bench-smoke race
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,19 @@ test: build
 
 # verify is the CI gate for the concurrent join paths: vet everything,
 # then race-check the packages with goroutines (owner-sharded parallel
-# VVM, parallel HHNL) and the accumulator layer they share.
+# VVM and HVNL, parallel HHNL), the accumulator layer they share, and the
+# entry cache the parallel HVNL coordinator drives.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/accum/...
+	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/...
 
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# bench-smoke runs every benchmark exactly once — a fast compile-and-run
+# check that the bench suite itself still works.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x .

@@ -16,6 +16,7 @@ package textjoin
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -154,6 +155,7 @@ func newMeasuredEnv(b *testing.B, scale int64) *measuredEnv {
 
 func benchMeasured(b *testing.B, alg core.Algorithm, opts core.Options) {
 	env := newMeasuredEnv(b, 1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var lastCost float64
 	for i := 0; i < b.N; i++ {
@@ -185,12 +187,80 @@ func BenchmarkMeasuredVVM(b *testing.B) {
 func BenchmarkMeasuredIntegrated(b *testing.B) {
 	env := newMeasuredEnv(b, 1024)
 	opts := core.Options{Lambda: 20, MemoryPages: 100}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := core.JoinIntegrated(env.in, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkScanDecode measures the scan/decode pipeline in isolation: one
+// op is a full sweep of the 1/256-scale WSJ collection (or its inverted
+// file). The reuse paths decode every record straight out of the page
+// window into one arena and must stay allocation-free in the steady
+// state; the clone paths bound what retaining callers pay.
+func BenchmarkScanDecode(b *testing.B) {
+	env := newMeasuredEnv(b, 256)
+	c1 := env.in.Inner
+	inv1 := env.in.InnerInv
+	b.Run("collection-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc := c1.Scan()
+			for {
+				if _, err := sc.NextReuse(); err != nil {
+					if err == io.EOF {
+						break
+					}
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("collection-clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc := c1.Scan()
+			for {
+				if _, err := sc.Next(); err != nil {
+					if err == io.EOF {
+						break
+					}
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("invfile-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc := inv1.Scan()
+			for {
+				if _, err := sc.NextReuse(); err != nil {
+					if err == io.EOF {
+						break
+					}
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("invfile-clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc := inv1.Scan()
+			for {
+				if _, err := sc.Next(); err != nil {
+					if err == io.EOF {
+						break
+					}
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkAblationHVNLPolicy compares the paper's min-outer-df entry
@@ -350,12 +420,14 @@ func BenchmarkAblationClusteredOrder(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelJoins compares serial and parallel HHNL/VVM wall-clock
-// on a memory-resident corpus (the paper's further-studies item 3).
+// BenchmarkParallelJoins compares serial and parallel HHNL/HVNL/VVM
+// wall-clock on a memory-resident corpus (the paper's further-studies
+// item 3).
 func BenchmarkParallelJoins(b *testing.B) {
 	env := newMeasuredEnv(b, 256)
 	opts := core.Options{Lambda: 10, MemoryPages: 500}
 	b.Run("HHNL-serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.JoinHHNL(env.in, opts); err != nil {
 				b.Fatal(err)
@@ -363,13 +435,31 @@ func BenchmarkParallelJoins(b *testing.B) {
 		}
 	})
 	b.Run("HHNL-parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.JoinHHNLParallel(env.in, opts, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+	b.Run("HVNL-serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.JoinHVNL(env.in, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("HVNL-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.JoinHVNLParallel(env.in, opts, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("VVM-serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.JoinVVM(env.in, opts); err != nil {
 				b.Fatal(err)
@@ -377,6 +467,7 @@ func BenchmarkParallelJoins(b *testing.B) {
 		}
 	})
 	b.Run("VVM-parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.JoinVVMParallel(env.in, opts, 0); err != nil {
 				b.Fatal(err)
@@ -386,8 +477,17 @@ func BenchmarkParallelJoins(b *testing.B) {
 	// A fixed worker count exposes the owner-sharded routing cost even
 	// when GOMAXPROCS is low (workers=0 may degenerate to serial).
 	b.Run("VVM-parallel-4w", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.JoinVVMParallel(env.in, opts, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("HVNL-parallel-4w", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.JoinHVNLParallel(env.in, opts, 4); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -190,31 +190,52 @@ func AppendRecord(dst []byte, r Record) ([]byte, error) {
 // DecodeRecord decodes one packed record from the start of b and returns it
 // together with the number of bytes consumed.
 func DecodeRecord(b []byte) (Record, int64, error) {
-	if len(b) < DocHeaderSize {
-		return Record{}, 0, fmt.Errorf("%w: need %d header bytes, have %d", ErrShortBuffer, DocHeaderSize, len(b))
+	number, cells, size, err := DecodeRecordInto(b, nil)
+	if err != nil {
+		return Record{}, 0, err
 	}
-	number := Uint24(b)
+	return Record{Number: number, Cells: cells}, size, nil
+}
+
+// DecodeRecordInto is the batch decode kernel behind DecodeRecord: it
+// decodes one packed record from the start of b, appending the cells to
+// dst (whose capacity is reused, so a caller recycling its buffer decodes
+// without allocating). Bounds are checked once against the full record
+// size; the unpack loop then runs without per-cell checks, and the
+// strictly-ascending invariant is verified with a flag folded into the
+// loop rather than a per-cell early exit.
+func DecodeRecordInto(b []byte, dst []Cell) (number uint32, cells []Cell, consumed int64, err error) {
+	if len(b) < DocHeaderSize {
+		return 0, dst, 0, fmt.Errorf("%w: need %d header bytes, have %d", ErrShortBuffer, DocHeaderSize, len(b))
+	}
+	number = Uint24(b)
 	count := int(Uint24(b[DocNumberSize:]))
 	size := EncodedRecordSize(count)
 	if int64(len(b)) < size {
-		return Record{}, 0, fmt.Errorf("%w: record needs %d bytes, have %d", ErrShortBuffer, size, len(b))
+		return 0, dst, 0, fmt.Errorf("%w: record needs %d bytes, have %d", ErrShortBuffer, size, len(b))
 	}
-	cells := make([]Cell, count)
-	off := DocHeaderSize
+	base := len(dst)
+	if cap(dst)-base < count {
+		grown := make([]Cell, base, base+count)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+count]
+	out := dst[base:]
+	body := b[DocHeaderSize:size:size]
+	ascending := true
 	prev := int64(-1)
-	for i := 0; i < count; i++ {
-		c, err := DecodeCell(b[off:])
-		if err != nil {
-			return Record{}, 0, err
-		}
-		if int64(c.Number) <= prev {
-			return Record{}, 0, fmt.Errorf("%w: cells not strictly ascending", ErrCorrupt)
-		}
-		prev = int64(c.Number)
-		cells[i] = c
-		off += CellSize
+	for i := range out {
+		c := body[i*CellSize : i*CellSize+CellSize]
+		n := uint32(c[0]) | uint32(c[1])<<8 | uint32(c[2])<<16
+		out[i] = Cell{Number: n, Weight: uint16(c[3]) | uint16(c[4])<<8}
+		ascending = ascending && int64(n) > prev
+		prev = int64(n)
 	}
-	return Record{Number: number, Cells: cells}, size, nil
+	if !ascending {
+		return 0, dst[:base], 0, fmt.Errorf("%w: cells not strictly ascending", ErrCorrupt)
+	}
+	return number, dst, size, nil
 }
 
 // PeekRecordSize reads only the record header from b and returns the full

@@ -32,6 +32,83 @@ func FuzzDecodeRecord(f *testing.F) {
 	})
 }
 
+// FuzzDecodeRecordInto checks the batch cell-decode kernel against a
+// reference decoder assembled from the per-cell primitives: both must
+// accept exactly the same inputs and produce identical numbers, cells and
+// consumed counts, including when the kernel appends into a dirty,
+// partially filled destination buffer.
+func FuzzDecodeRecordInto(f *testing.F) {
+	good, _ := AppendRecord(nil, Record{Number: 3, Cells: []Cell{{1, 2}, {7, 1}}})
+	f.Add(good, uint8(0))
+	f.Add([]byte{}, uint8(3))
+	f.Add([]byte{1, 2, 3}, uint8(1))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), uint8(7))
+	f.Add(append([]byte{9, 0, 0, 2, 0, 0}, bytes.Repeat([]byte{5, 0, 0, 1, 0}, 2)...), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, prefill uint8) {
+		// Reference: header reads plus a per-cell DecodeCell loop.
+		refRec, refConsumed, refErr := func() (Record, int64, error) {
+			if len(data) < DocHeaderSize {
+				return Record{}, 0, ErrShortBuffer
+			}
+			number := Uint24(data)
+			count := int(Uint24(data[DocNumberSize:]))
+			size := EncodedRecordSize(count)
+			if int64(len(data)) < size {
+				return Record{}, 0, ErrShortBuffer
+			}
+			cells := make([]Cell, 0, count)
+			off := DocHeaderSize
+			prev := int64(-1)
+			for i := 0; i < count; i++ {
+				c, err := DecodeCell(data[off:])
+				if err != nil {
+					return Record{}, 0, err
+				}
+				if int64(c.Number) <= prev {
+					return Record{}, 0, ErrCorrupt
+				}
+				prev = int64(c.Number)
+				cells = append(cells, c)
+				off += CellSize
+			}
+			return Record{Number: number, Cells: cells}, size, nil
+		}()
+
+		// Kernel, appending after `prefill` sentinel cells that must
+		// survive untouched.
+		dst := make([]Cell, 0, int(prefill)+4)
+		for i := 0; i < int(prefill); i++ {
+			dst = append(dst, Cell{Number: 0xABC000 + uint32(i), Weight: 0xEE})
+		}
+		number, got, consumed, err := DecodeRecordInto(data, dst)
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("accept mismatch: kernel err=%v, reference err=%v", err, refErr)
+		}
+		if err != nil {
+			if len(got) != int(prefill) {
+				t.Fatalf("error path truncated dst to %d, want %d", len(got), prefill)
+			}
+			return
+		}
+		if number != refRec.Number || consumed != refConsumed {
+			t.Fatalf("kernel (%d, %d) vs reference (%d, %d)", number, consumed, refRec.Number, refConsumed)
+		}
+		if len(got) != int(prefill)+len(refRec.Cells) {
+			t.Fatalf("kernel yielded %d cells, want %d + %d prefilled", len(got), len(refRec.Cells), prefill)
+		}
+		for i := 0; i < int(prefill); i++ {
+			if got[i] != (Cell{Number: 0xABC000 + uint32(i), Weight: 0xEE}) {
+				t.Fatalf("prefilled cell %d clobbered: %+v", i, got[i])
+			}
+		}
+		for i, c := range refRec.Cells {
+			if got[int(prefill)+i] != c {
+				t.Fatalf("cell %d: kernel %+v vs reference %+v", i, got[int(prefill)+i], c)
+			}
+		}
+	})
+}
+
 // FuzzDecodeBTreeCell covers the 9-byte leaf-cell decoder.
 func FuzzDecodeBTreeCell(f *testing.F) {
 	enc, _ := AppendBTreeCell(nil, BTreeCell{Term: 9, Addr: 100, DocFreq: 3})

@@ -86,6 +86,8 @@ type batchIterator struct {
 	next int
 }
 
+var _ ReuseIterator = (*batchIterator)(nil)
+
 func (it *batchIterator) Next() (*document.Document, error) {
 	if it.next >= len(it.b.docs) {
 		return nil, io.EOF
@@ -94,6 +96,10 @@ func (it *batchIterator) Next() (*document.Document, error) {
 	it.next++
 	return d, nil
 }
+
+// NextReuse is Next: batch documents are memory-resident and stable, so
+// the reuse path yields them without any copy.
+func (it *batchIterator) NextReuse() (*document.Document, error) { return it.Next() }
 
 // Base returns nil: a batch has no backing collection.
 func (b *Batch) Base() *Collection { return nil }

@@ -21,6 +21,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"textjoin/internal/codec"
 	"textjoin/internal/document"
@@ -74,6 +75,14 @@ type Collection struct {
 	stats Stats
 	df    map[uint32]int64
 	norms []float64
+
+	// Derived tables, built once on first use and shared afterwards
+	// (every cosine/tf-idf join used to rebuild these O(N)/O(T) maps per
+	// call).
+	normOnce sync.Once
+	normMap  map[uint32]float64
+	idfOnce  sync.Once
+	idfMap   map[uint32]float64
 }
 
 // Builder accumulates documents into a collection file. Documents must be
@@ -286,21 +295,31 @@ func (c *Collection) Norm(id uint32) float64 {
 }
 
 // Norms returns the norm table keyed by document id, for cosine scoring.
+// The table is computed once and the same map is returned on every call;
+// callers must not modify it.
 func (c *Collection) Norms() map[uint32]float64 {
-	m := make(map[uint32]float64, len(c.norms))
-	for id, n := range c.norms {
-		m[uint32(id)] = n
-	}
-	return m
+	c.normOnce.Do(func() {
+		m := make(map[uint32]float64, len(c.norms))
+		for id, n := range c.norms {
+			m[uint32(id)] = n
+		}
+		c.normMap = m
+	})
+	return c.normMap
 }
 
-// IDFMap returns idf weights for every term, for tf-idf scoring.
+// IDFMap returns idf weights for every term, for tf-idf scoring. The table
+// is computed once and the same map is returned on every call; callers
+// must not modify it.
 func (c *Collection) IDFMap() map[uint32]float64 {
-	m := make(map[uint32]float64, len(c.df))
-	for term, df := range c.df {
-		m[term] = document.IDF(c.stats.N, df)
-	}
-	return m
+	c.idfOnce.Do(func() {
+		m := make(map[uint32]float64, len(c.df))
+		for term, df := range c.df {
+			m[term] = document.IDF(c.stats.N, df)
+		}
+		c.idfMap = m
+	})
+	return c.idfMap
 }
 
 // Fetch reads document id with a random access, touching the ⌈S⌉-ish pages
@@ -314,21 +333,31 @@ func (c *Collection) Fetch(id uint32) (*document.Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec, _, err := codec.DecodeRecord(raw)
-	if err != nil {
+	d := &document.Document{}
+	if _, err := document.DecodeInto(d, raw); err != nil {
 		return nil, err
 	}
-	return document.FromRecord(rec), nil
+	return d, nil
 }
 
 // Scanner iterates documents in storage order, reading every page of the
 // collection exactly once (the paper's sequential scan costing D pages).
+//
+// The scanner consumes records from a page-backed window: a record that
+// lies entirely within the current page is decoded straight out of the
+// page image, and only records crossing a page boundary are stitched
+// through a small reused scratch buffer — nothing re-copies every page
+// into a growing buffer.
 type Scanner struct {
 	c        *Collection
 	nextPage int64
-	buf      []byte
-	next     int // next document id to return
-	err      error
+	// window is the unconsumed tail of the most recently read page (it
+	// aliases the page image, or scratch after a stitch).
+	window  []byte
+	scratch []byte
+	doc     document.Document // arena for NextReuse
+	next    int               // next document id to return
+	err     error
 }
 
 // Scan starts a sequential scan from the first document.
@@ -336,8 +365,11 @@ func (c *Collection) Scan() *Scanner {
 	return &Scanner{c: c}
 }
 
-// Next returns the next document, or io.EOF when the scan is complete.
-func (s *Scanner) Next() (*document.Document, error) {
+// NextReuse returns the next document, or io.EOF when the scan is
+// complete. The returned document lives in the scanner's arena: it is
+// valid only until the next call, and callers that retain it must Clone
+// it. The steady state allocates nothing.
+func (s *Scanner) NextReuse() (*document.Document, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
@@ -346,23 +378,41 @@ func (s *Scanner) Next() (*document.Document, error) {
 		return nil, io.EOF
 	}
 	need := int(s.c.refs[s.next].Len)
-	for len(s.buf) < need {
-		page, err := s.c.file.ReadPage(s.nextPage)
-		if err != nil {
-			s.err = err
-			return nil, err
+	if len(s.window) < need {
+		// The record extends past the window: stitch it (and the rest of
+		// the page it ends on) into scratch. The window may already alias
+		// scratch; append copies via memmove, so the overlap is safe.
+		s.scratch = append(s.scratch[:0], s.window...)
+		for len(s.scratch) < need {
+			page, err := s.c.file.ReadPage(s.nextPage)
+			if err != nil {
+				s.err = err
+				return nil, err
+			}
+			s.nextPage++
+			s.scratch = append(s.scratch, page...)
 		}
-		s.nextPage++
-		s.buf = append(s.buf, page...)
+		s.window = s.scratch
 	}
-	rec, consumed, err := codec.DecodeRecord(s.buf)
+	consumed, err := document.DecodeInto(&s.doc, s.window[:need])
 	if err != nil {
 		s.err = err
 		return nil, err
 	}
-	s.buf = s.buf[consumed:]
+	s.window = s.window[consumed:]
 	s.next++
-	return document.FromRecord(rec), nil
+	return &s.doc, nil
+}
+
+// Next returns the next document, or io.EOF when the scan is complete. The
+// document is freshly allocated and safe to retain; hot paths that only
+// inspect each document should prefer NextReuse.
+func (s *Scanner) Next() (*document.Document, error) {
+	d, err := s.NextReuse()
+	if err != nil {
+		return nil, err
+	}
+	return d.Clone(), nil
 }
 
 // Reader abstracts the document sources a join can consume: a full
@@ -397,9 +447,33 @@ type Reader interface {
 	BaseStats() Stats
 }
 
-// DocIterator yields documents until io.EOF.
+// DocIterator yields documents until io.EOF. Documents returned by Next
+// are stable: they remain valid after further calls.
 type DocIterator interface {
 	Next() (*document.Document, error)
+}
+
+// ReuseIterator is a DocIterator that can additionally yield documents
+// from an internal arena. A document returned by NextReuse is valid only
+// until the next call (of either method); callers that retain it must
+// Clone it. Memory-resident sources may return stable documents from
+// NextReuse — the contract is simply that callers must not assume
+// stability, and must never mutate the yielded document.
+type ReuseIterator interface {
+	DocIterator
+	NextReuse() (*document.Document, error)
+}
+
+// NextReuse advances it through the reuse path when the iterator offers
+// one, falling back to the allocating Next otherwise. Join hot loops that
+// consume each document transiently use this helper so any Reader
+// implementation benefits from arena iteration without being required to
+// provide it.
+func NextReuse(it DocIterator) (*document.Document, error) {
+	if r, ok := it.(ReuseIterator); ok {
+		return r.NextReuse()
+	}
+	return it.Next()
 }
 
 // Collection implements Reader over all its documents.
@@ -429,6 +503,13 @@ func (c *Collection) BaseStats() Stats { return c.stats }
 type Subset struct {
 	c   *Collection
 	ids []uint32
+
+	// Memoized derived statistics: a subset is immutable, so the per-call
+	// O(len(ids)) directory walks are paid once.
+	statsOnce sync.Once
+	stats     Stats
+	avgOnce   sync.Once
+	avgBytes  float64
 }
 
 var _ Reader = (*Subset)(nil)
@@ -483,41 +564,50 @@ func (s *Subset) Terms() []uint32 { return s.c.Terms() }
 // storage costs are governed by the original, originally large file.
 func (s *Subset) BaseStats() Stats { return s.c.stats }
 
-// AvgDocBytes returns the average packed size of the selected documents.
+// AvgDocBytes returns the average packed size of the selected documents,
+// computed from the directory once and memoized.
 func (s *Subset) AvgDocBytes() float64 {
-	if len(s.ids) == 0 {
-		return 0
-	}
-	var total int64
-	for _, id := range s.ids {
-		total += int64(s.c.refs[id].Len)
-	}
-	return float64(total) / float64(len(s.ids))
+	s.avgOnce.Do(func() {
+		if len(s.ids) == 0 {
+			return
+		}
+		var total int64
+		for _, id := range s.ids {
+			total += int64(s.c.refs[id].Len)
+		}
+		s.avgBytes = float64(total) / float64(len(s.ids))
+	})
+	return s.avgBytes
 }
 
 // Stats estimates the statistics of the subset viewed as a collection of
 // its own: N and K are measured from the document directory (no I/O), and
 // the number of distinct terms is estimated with the paper's vocabulary
-// growth formula f(m) = T·(1 − (1 − K/T)^m).
+// growth formula f(m) = T·(1 − (1 − K/T)^m). The walk over the directory
+// happens once; repeat calls return the memoized value.
 func (s *Subset) Stats() Stats {
-	parent := s.c.stats
-	st := Stats{N: int64(len(s.ids)), PageSize: parent.PageSize}
-	if st.N == 0 {
-		return st
-	}
-	var cells int64
-	var bytes int64
-	for _, id := range s.ids {
-		cells += int64(s.c.refs[id].Terms)
-		bytes += int64(s.c.refs[id].Len)
-	}
-	st.TotalCells = cells
-	st.Bytes = bytes
-	st.K = float64(cells) / float64(st.N)
-	st.S = float64(bytes) / float64(st.N) / float64(st.PageSize)
-	st.D = iosim.PagesForBytes(bytes, st.PageSize)
-	st.T = int64(math.Round(VocabularyGrowth(float64(parent.T), parent.K, float64(st.N))))
-	return st
+	s.statsOnce.Do(func() {
+		parent := s.c.stats
+		st := Stats{N: int64(len(s.ids)), PageSize: parent.PageSize}
+		if st.N == 0 {
+			s.stats = st
+			return
+		}
+		var cells int64
+		var bytes int64
+		for _, id := range s.ids {
+			cells += int64(s.c.refs[id].Terms)
+			bytes += int64(s.c.refs[id].Len)
+		}
+		st.TotalCells = cells
+		st.Bytes = bytes
+		st.K = float64(cells) / float64(st.N)
+		st.S = float64(bytes) / float64(st.N) / float64(st.PageSize)
+		st.D = iosim.PagesForBytes(bytes, st.PageSize)
+		st.T = int64(math.Round(VocabularyGrowth(float64(parent.T), parent.K, float64(st.N))))
+		s.stats = st
+	})
+	return s.stats
 }
 
 // Documents iterates the selected documents in id order via random
@@ -530,6 +620,13 @@ type subsetIterator struct {
 	s    *Subset
 	next int
 }
+
+var _ ReuseIterator = (*subsetIterator)(nil)
+
+// NextReuse is Next: random fetches decode into fresh documents (the
+// random-I/O path is dominated by page reads, not allocation), which
+// trivially satisfies the reuse contract.
+func (it *subsetIterator) NextReuse() (*document.Document, error) { return it.Next() }
 
 func (it *subsetIterator) Next() (*document.Document, error) {
 	if it.next >= len(it.s.ids) {

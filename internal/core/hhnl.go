@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"textjoin/internal/collection"
 	"textjoin/internal/document"
 	"textjoin/internal/iosim"
 	"textjoin/internal/topk"
@@ -120,10 +121,12 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 		for i := range trackers {
 			trackers[i] = topk.New(opts.Lambda)
 		}
-		// One full scan of the inner collection per batch.
+		// One full scan of the inner collection per batch. Each inner
+		// document is consumed before the next is read, so the scan's
+		// reuse arena suffices — the hot loop allocates nothing.
 		inner := in.Inner.Scan()
 		for {
-			d1, err := inner.Next()
+			d1, err := inner.NextReuse()
 			if err == io.EOF {
 				break
 			}
@@ -208,9 +211,12 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 			stats.PeakMemoryBytes = used + trackerBytes
 		}
 
+		// The streamed outer side is consumed one document at a time, so
+		// the reuse path applies (the resident inner batch, by contrast,
+		// is built from stable Next documents above).
 		outerIt := in.Outer.Documents()
 		for {
-			d2, err := outerIt.Next()
+			d2, err := collection.NextReuse(outerIt)
 			if err == io.EOF {
 				break
 			}
@@ -239,7 +245,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 		// result row, with no matches.
 		outerIt := in.Outer.Documents()
 		for {
-			d2, err := outerIt.Next()
+			d2, err := collection.NextReuse(outerIt)
 			if err == io.EOF {
 				break
 			}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"textjoin/internal/accum"
+	"textjoin/internal/collection"
 	"textjoin/internal/document"
 	"textjoin/internal/entrycache"
 	"textjoin/internal/iosim"
@@ -127,9 +128,11 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 	acc := accum.NewFlat(int(in.Inner.NumDocs()))
 	var ordered []document.Cell // reusable cached-first ordering scratch
 
+	// Each outer document is fully processed before the next is read, so
+	// the reuse path applies: one arena document for the whole sweep.
 	outer := in.Outer.Documents()
 	for {
-		d2, err := outer.Next()
+		d2, err := collection.NextReuse(outer)
 		if err == io.EOF {
 			break
 		}

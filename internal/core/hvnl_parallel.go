@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"textjoin/internal/accum"
+	"textjoin/internal/codec"
+	"textjoin/internal/collection"
+	"textjoin/internal/document"
+	"textjoin/internal/entrycache"
+	"textjoin/internal/iosim"
+	"textjoin/internal/topk"
+)
+
+// hvnlWork is one item on a worker's channel. An accumulation item
+// (cells != nil) carries the worker-owned contiguous sub-slice of a
+// fetched entry's i-cells together with the outer cell weight w and the
+// term factor, kept separate so the worker computes exactly the serial
+// w·float64(cell.Weight)·factor product — same associativity, hence
+// byte-identical float sums. A flush item (cells == nil) marks the end of
+// an outer document: the worker finalizes its block's top-λ into
+// slot.perWorker and resets its shard, so the pipeline never needs a
+// per-document barrier.
+type hvnlWork struct {
+	factor float64
+	w      float64
+	cells  []codec.Cell
+	slot   *hvnlDocSlot
+}
+
+// hvnlDocSlot collects one outer document's per-worker top-λ candidates.
+// Workers write disjoint indices, so no locking is needed; the final
+// merge runs after all workers have drained.
+type hvnlDocSlot struct {
+	outer     uint32
+	perWorker [][]Match
+}
+
+// JoinHVNLParallel is HVNL with the probe-side scoring fanned out over
+// workers while every storage access stays on the calling goroutine, in
+// the exact serial order: the B+tree load, the sequential-preload
+// decision, every cache probe, every entry fetch and every cache
+// insertion happen as in JoinHVNL, so the page counts, the
+// sequential/random split, and the cache/fetch statistics are
+// byte-identical to the serial algorithm.
+//
+// What fans out is the accumulation: worker w owns the contiguous block
+// of inner document ids [blocks[w], blocks[w+1]) and keeps a private
+// accum.Flat shard over it. For each term of the outer document the
+// coordinator splits the fetched entry's (ascending) i-cells by owner
+// with binary searches — the same zero-copy sub-slice routing as the
+// parallel VVM — and sends each worker only its own range. Entries stay
+// alive while routed sub-slices are in flight (they alias the entry's
+// cell array, which the garbage collector therefore pins), so cache
+// eviction of an entry whose cells a worker is still scanning is safe.
+//
+// Each worker sees its items in coordinator order, so per inner document
+// the additions form the same ordered subsequence as the serial loop and
+// the float sums are bit-identical; the per-document flush finalizes each
+// block's top-λ with the serial Finalize, and merging the per-worker
+// candidates reproduces the global top-λ because the tracker's order
+// (similarity descending, document ascending) is total.
+func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if in.Outer == nil || in.InnerInv == nil || in.Inner == nil {
+		return nil, nil, fmt.Errorf("%w: HVNL needs the outer documents and the inner inverted file", ErrMissingInput)
+	}
+	nWorkers := resolveWorkers(workers)
+	if nWorkers == 1 {
+		return JoinHVNL(in, opts)
+	}
+	scorer, err := in.scorer(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	invFile := in.InnerInv.File()
+	var treeFile *iosim.File
+	if in.InnerInv.Tree() != nil {
+		treeFile = in.InnerInv.Tree().File()
+	}
+	track := trackIO(in.Outer.File(), invFile, treeFile)
+
+	index, err := in.InnerInv.LoadIndex()
+	if err != nil {
+		return nil, nil, err
+	}
+	pageSize := int64(invFile.PageSize())
+	btreeBytes := index.SizePages(int(pageSize)) * pageSize
+
+	total := opts.MemoryPages * pageSize
+	outerDocBytes := iosim.PagesForBytes(int64(in.Outer.AvgDocBytes()+0.999), int(pageSize)) * pageSize
+	accBytes := int64(4 * float64(in.Inner.NumDocs()) * opts.Delta)
+	cacheBudget := total - outerDocBytes - btreeBytes - accBytes
+	if cacheBudget <= 0 {
+		return nil, nil, fmt.Errorf("%w: B=%d pages leaves no room for inverted entries (doc %d + btree %d + accumulators %d bytes)",
+			ErrInsufficientMemory, opts.MemoryPages, outerDocBytes, btreeBytes, accBytes)
+	}
+
+	outerDF := in.Outer.DF
+	cache := entrycache.New(cacheBudget, opts.CachePolicy, func(term uint32) int64 { return outerDF(term) })
+
+	stats := &Stats{Algorithm: HVNL, InnerDocs: in.Inner.NumDocs()}
+
+	// Sequential-preload regime, decided and performed exactly as serial.
+	invStats := in.InnerInv.Stats()
+	totalEntryBytes := invStats.Bytes + 3*invStats.Entries
+	if totalEntryBytes > 0 && totalEntryBytes <= cacheBudget {
+		var neededPages int64
+		for _, cell := range index.Cells() {
+			if in.Outer.DF(cell.Term) > 0 {
+				p, err := in.InnerInv.EntryPages(cell.Term)
+				if err != nil {
+					return nil, nil, err
+				}
+				neededPages += p
+			}
+		}
+		seqCost := float64(invStats.I)
+		randCost := float64(neededPages) * invFile.Disk().Alpha()
+		if seqCost < randCost {
+			sc := in.InnerInv.Scan()
+			for {
+				entry, err := sc.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return nil, nil, err
+				}
+				cache.Put(entry.Term, entry, entry.Bytes()+3)
+			}
+			stats.Passes = 1
+		}
+	}
+
+	// Ownership: worker w owns the contiguous inner-id block
+	// [blocks[w], blocks[w+1]) of the dense ids 0..N1-1.
+	n1 := int(in.Inner.NumDocs())
+	blocks := make([]int, nWorkers+1)
+	for w := range blocks {
+		blocks[w] = w * n1 / nWorkers
+	}
+
+	chans := make([]chan hvnlWork, nWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		chans[w] = make(chan hvnlWork, 128)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			idLo := uint32(blocks[w])
+			acc := accum.NewFlat(blocks[w+1] - blocks[w])
+			for item := range chans[w] {
+				if item.cells != nil {
+					iw, factor := item.w, item.factor
+					for _, cell := range item.cells {
+						acc.Add(cell.Number-idLo, iw*float64(cell.Weight)*factor)
+					}
+					continue
+				}
+				// Flush: finalize this worker's block for the outer
+				// document, then ready the shard for the next one.
+				tk := topk.New(opts.Lambda)
+				outer := item.slot.outer
+				acc.ForEach(func(local uint32, raw float64) {
+					d1 := local + idLo
+					tk.Offer(d1, scorer.Finalize(outer, d1, raw))
+				})
+				item.slot.perWorker[w] = tk.Results()
+				acc.Reset()
+			}
+		}(w)
+	}
+	// finish drains the pipeline; it is safe to call exactly once.
+	finish := func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+	}
+
+	var slots []*hvnlDocSlot
+	var ordered []document.Cell
+
+	outer := in.Outer.Documents()
+	for {
+		d2, err := collection.NextReuse(outer)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			finish()
+			return nil, nil, err
+		}
+		stats.OuterDocs++
+
+		// Cached-entries-first term order, exactly as serial.
+		ordered = ordered[:0]
+		for _, c := range d2.Cells {
+			if cache.Contains(c.Term) {
+				ordered = append(ordered, c)
+			}
+		}
+		for _, c := range d2.Cells {
+			if !cache.Contains(c.Term) {
+				ordered = append(ordered, c)
+			}
+		}
+
+		for _, c := range ordered {
+			if !index.Contains(c.Term) {
+				continue
+			}
+			entry, ok := cache.Get(c.Term)
+			if !ok {
+				entry, err = in.InnerInv.FetchEntry(c.Term)
+				if err != nil {
+					finish()
+					return nil, nil, err
+				}
+				stats.EntryFetches++
+				cache.Put(c.Term, entry, entry.Bytes()+3)
+			}
+			factor := scorer.TermFactor(c.Term)
+			if factor == 0 {
+				continue
+			}
+			w := float64(c.Weight)
+			// Route each worker its own id range: cells and blocks both
+			// ascend, so one forward sweep of binary searches splits the
+			// cell list without copying.
+			cells := entry.Cells
+			i := 0
+			for wk := 0; wk < nWorkers && i < len(cells); wk++ {
+				lo, hi := blocks[wk], blocks[wk+1]
+				if lo == hi {
+					continue
+				}
+				start := i + sort.Search(len(cells)-i, func(k int) bool { return int(cells[i+k].Number) >= lo })
+				end := start + sort.Search(len(cells)-start, func(k int) bool { return int(cells[start+k].Number) >= hi })
+				i = end
+				if start < end {
+					chans[wk] <- hvnlWork{factor: factor, w: w, cells: cells[start:end]}
+				}
+			}
+			stats.Accumulations += int64(len(entry.Cells))
+		}
+
+		slot := &hvnlDocSlot{outer: d2.ID, perWorker: make([][]Match, nWorkers)}
+		slots = append(slots, slot)
+		for wk := 0; wk < nWorkers; wk++ {
+			chans[wk] <- hvnlWork{slot: slot}
+		}
+
+		if mem := cache.Used() + btreeBytes + accBytes + outerDocBytes; mem > stats.PeakMemoryBytes {
+			stats.PeakMemoryBytes = mem
+		}
+	}
+	finish()
+
+	// Merge the per-worker candidates: disjoint blocks plus a total
+	// tracker order make the merged top-λ equal the serial one.
+	results := make([]Result, 0, len(slots))
+	for _, slot := range slots {
+		merged := topk.New(opts.Lambda)
+		for _, matches := range slot.perWorker {
+			for _, m := range matches {
+				merged.Offer(m.Doc, m.Sim)
+			}
+		}
+		results = append(results, Result{Outer: slot.outer, Matches: merged.Results()})
+	}
+
+	stats.Cache = cache.Stats()
+	stats.IO = track.delta()
+	stats.Cost = stats.IO.Cost(alpha(invFile))
+	return results, stats, nil
+}

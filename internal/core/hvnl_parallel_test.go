@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"textjoin/internal/document"
+	"textjoin/internal/entrycache"
+	"textjoin/internal/iosim"
+)
+
+// sameHVNLStats asserts the statistics the parallel HVNL must reproduce
+// exactly: all storage access stays on one goroutine in serial order, so
+// page counts, the sequential/random split, cache behavior, entry fetches,
+// accumulation counts and the peak-memory estimate are byte-identical.
+//
+// The callers compare runs over freshly rebuilt environments: the
+// simulated disk head position persists across runs, so re-running even
+// the identical access sequence on a used disk can reclassify its first
+// reads.
+func sameHVNLStats(t *testing.T, label string, serial, par *Stats) {
+	t.Helper()
+	if par.IO != serial.IO {
+		t.Errorf("%s: IO %+v vs serial %+v", label, par.IO, serial.IO)
+	}
+	if par.Cache != serial.Cache {
+		t.Errorf("%s: cache %+v vs serial %+v", label, par.Cache, serial.Cache)
+	}
+	if par.EntryFetches != serial.EntryFetches {
+		t.Errorf("%s: entry fetches %d vs serial %d", label, par.EntryFetches, serial.EntryFetches)
+	}
+	if par.Accumulations != serial.Accumulations {
+		t.Errorf("%s: accumulations %d vs serial %d", label, par.Accumulations, serial.Accumulations)
+	}
+	if par.Passes != serial.Passes {
+		t.Errorf("%s: passes %d vs serial %d", label, par.Passes, serial.Passes)
+	}
+	if par.PeakMemoryBytes != serial.PeakMemoryBytes {
+		t.Errorf("%s: peak memory %d vs serial %d", label, par.PeakMemoryBytes, serial.PeakMemoryBytes)
+	}
+	if par.Cost != serial.Cost {
+		t.Errorf("%s: cost %v vs serial %v", label, par.Cost, serial.Cost)
+	}
+}
+
+// TestHVNLParallelIdentity is the tentpole's identity matrix: parallel
+// HVNL against serial HVNL across all three weightings, worker counts
+// {1, 2, 7}, both cache policies, and cache budgets spanning the
+// preload-everything regime down to one that forces evictions — results
+// and every I/O-visible statistic must match exactly. Every run gets a
+// freshly built environment so the simulated disk starts from the same
+// head position.
+func TestHVNLParallelIdentity(t *testing.T) {
+	build := func() Inputs { return buildEnv(t, 61, 42, 36, 65, 15, 128).inputs() }
+	optsList := []Options{
+		{Lambda: 5, MemoryPages: 4000},                            // roomy: sequential preload regime
+		{Lambda: 5, MemoryPages: 40},                              // tight: demand fetches with evictions
+		{Lambda: 5, MemoryPages: 40, CachePolicy: entrycache.LRU}, // tight, ablation policy
+		{Lambda: 3, MemoryPages: 120, Delta: 0.9},                 // large accumulator reservation
+	}
+	for _, weighting := range []document.Weighting{document.RawTF, document.Cosine, document.TFIDF} {
+		for _, base := range optsList {
+			opts := base
+			opts.Weighting = weighting
+			serial, serialStats, err := JoinHVNL(build(), opts)
+			if err != nil {
+				if errors.Is(err, ErrInsufficientMemory) {
+					continue
+				}
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 7} {
+				par, parStats, err := JoinHVNLParallel(build(), opts, workers)
+				if err != nil {
+					t.Fatalf("%v workers=%d: %v", weighting, workers, err)
+				}
+				if err := sameResults(serial, par); err != nil {
+					t.Fatalf("%v workers=%d opts %+v: %v", weighting, workers, opts, err)
+				}
+				sameHVNLStats(t, weighting.String(), serialStats, parStats)
+			}
+		}
+	}
+}
+
+// TestHVNLParallelSubset joins a scattered selection subset, serial and
+// parallel, against the brute-force reference.
+func TestHVNLParallelSubset(t *testing.T) {
+	subsetIDs := []uint32{1, 2, 6, 9, 16, 23, 24, 40, 43}
+	build := func() Inputs {
+		e := buildEnv(t, 62, 38, 44, 58, 13, 128)
+		sub, err := e.c2.Subset(subsetIDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Inputs{Outer: sub, Inner: e.c1, InnerInv: e.inv1, OuterInv: e.inv2}
+	}
+	refIn := build()
+	scorer, err := refIn.scorer(Options{}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference(t, refIn.Outer, refIn.Inner, 4, scorer)
+	for _, opts := range []Options{
+		{Lambda: 4, MemoryPages: 4000},
+		{Lambda: 4, MemoryPages: 50},
+	} {
+		serial, serialStats, err := JoinHVNL(build(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameResults(want, serial); err != nil {
+			t.Fatalf("serial opts %+v: %v", opts, err)
+		}
+		for _, workers := range []int{2, 7} {
+			par, parStats, err := JoinHVNLParallel(build(), opts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sameResults(want, par); err != nil {
+				t.Fatalf("parallel workers=%d opts %+v: %v", workers, opts, err)
+			}
+			sameHVNLStats(t, "subset", serialStats, parStats)
+		}
+	}
+}
+
+// TestQuickHVNLParallelEqual property-tests parallel HVNL against serial
+// on random corpora, random cache budgets, random worker counts and
+// random subsets. The corpus, options and worker count all derive
+// deterministically from the seed, so serial and parallel runs see
+// identical freshly built environments.
+func TestQuickHVNLParallelEqual(t *testing.T) {
+	check := func(seed int64, pages16 uint16, subset bool) bool {
+		build := func() (Inputs, Options, int) {
+			r := rand.New(rand.NewSource(seed))
+			d := iosim.NewDisk(iosim.WithPageSize(128))
+			c1 := buildColl(t, d, "c1", randomDocs(r, r.Intn(25)+1, 50, 10))
+			c2 := buildColl(t, d, "c2", randomDocs(r, r.Intn(25)+1, 50, 10))
+			inv1 := buildInv(t, d, c1, "c1")
+			inv2 := buildInv(t, d, c2, "c2")
+			in := Inputs{Outer: c2, Inner: c1, InnerInv: inv1, OuterInv: inv2}
+			if subset {
+				ids := make([]uint32, 0, c2.NumDocs())
+				for id := int64(0); id < c2.NumDocs(); id++ {
+					if r.Intn(2) == 0 {
+						ids = append(ids, uint32(id))
+					}
+				}
+				sub, err := c2.Subset(ids)
+				if err != nil {
+					t.Fatal(err)
+				}
+				in.Outer = sub
+			}
+			opts := Options{Lambda: r.Intn(5) + 1, MemoryPages: int64(pages16%200) + 20}
+			workers := r.Intn(7) + 1
+			return in, opts, workers
+		}
+		in, opts, workers := build()
+		serial, serialStats, err := JoinHVNL(in, opts)
+		if err != nil {
+			// A tiny budget may be legitimately insufficient; the parallel
+			// variant must agree.
+			if !errors.Is(err, ErrInsufficientMemory) {
+				t.Fatal(err)
+			}
+			in, opts, _ = build()
+			_, _, perr := JoinHVNLParallel(in, opts, 2)
+			return errors.Is(perr, ErrInsufficientMemory)
+		}
+		in, opts, _ = build()
+		par, parStats, err := JoinHVNLParallel(in, opts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sameResults(serial, par) != nil {
+			return false
+		}
+		return parStats.IO == serialStats.IO &&
+			parStats.Cache == serialStats.Cache &&
+			parStats.EntryFetches == serialStats.EntryFetches &&
+			parStats.Accumulations == serialStats.Accumulations &&
+			parStats.PeakMemoryBytes == serialStats.PeakMemoryBytes
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -314,7 +314,7 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 		// Route each common-term pair: both the entry's cells and the rank
 		// blocks ascend by document number, so one forward sweep with a
 		// binary search per block boundary splits the cell list.
-		scanErr := mergeScan(in.InnerInv, in.OuterInv, func(term uint32, e1, e2 *invfile.Entry) {
+		scanErr := mergeScan(in.InnerInv, in.OuterInv, false, func(term uint32, e1, e2 *invfile.Entry) {
 			factor := scorer.TermFactor(term)
 			if factor == 0 {
 				return

@@ -68,7 +68,7 @@ func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
 		set := accum.NewIDSet(rangeIDs)
 		acc := accum.New(len(rangeIDs), n1, plan.passBytes)
 
-		if err := mergeScan(in.InnerInv, in.OuterInv, func(term uint32, e1, e2 *invfile.Entry) {
+		if err := mergeScan(in.InnerInv, in.OuterInv, true, func(term uint32, e1, e2 *invfile.Entry) {
 			factor := scorer.TermFactor(term)
 			if factor == 0 {
 				return
@@ -189,30 +189,41 @@ func vvmPlan(in Inputs, opts Options) (*vvmPlanned, error) {
 
 // mergeScan runs one parallel scan over both inverted files, invoking fn
 // for every term present in both (e1 from inner/C1, e2 from outer/C2).
-func mergeScan(inner, outer *invfile.InvertedFile, fn func(term uint32, e1, e2 *invfile.Entry)) error {
+//
+// With reuse, entries are yielded from the scanners' arenas and are valid
+// only for the duration of fn (the serial VVM's accumulation consumes them
+// immediately); callers whose fn retains entries or sub-slices of their
+// cells — the parallel VVM routes both across worker channels — must pass
+// reuse=false to get stable, freshly allocated entries.
+func mergeScan(inner, outer *invfile.InvertedFile, reuse bool, fn func(term uint32, e1, e2 *invfile.Entry)) error {
 	s1 := inner.Scan()
 	s2 := outer.Scan()
-	e1, err1 := s1.Next()
-	e2, err2 := s2.Next()
+	next1, next2 := s1.Next, s2.Next
+	if reuse {
+		next1, next2 = s1.NextReuse, s2.NextReuse
+	}
+	e1, err1 := next1()
+	e2, err2 := next2()
 	for err1 == nil && err2 == nil {
 		switch {
 		case e1.Term < e2.Term:
-			e1, err1 = s1.Next()
+			e1, err1 = next1()
 		case e1.Term > e2.Term:
-			e2, err2 = s2.Next()
+			e2, err2 = next2()
 		default:
 			fn(e1.Term, e1, e2)
-			e1, err1 = s1.Next()
-			e2, err2 = s2.Next()
+			e1, err1 = next1()
+			e2, err2 = next2()
 		}
 	}
 	// Drain the longer file so both scans cost their full sequential
-	// sweep, as the paper's one-scan cost I1 + I2 assumes.
+	// sweep, as the paper's one-scan cost I1 + I2 assumes. Drained
+	// entries are discarded, so the reuse path always applies.
 	for err1 == nil {
-		_, err1 = s1.Next()
+		_, err1 = s1.NextReuse()
 	}
 	for err2 == nil {
-		_, err2 = s2.Next()
+		_, err2 = s2.NextReuse()
 	}
 	if err1 != io.EOF {
 		return err1

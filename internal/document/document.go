@@ -105,6 +105,57 @@ func FromRecord(r codec.Record) *Document {
 	return &Document{ID: r.Number, Cells: cells}
 }
 
+// Clone returns a deep copy of d whose cells do not alias d's. Reuse-style
+// iterators (collection.Scanner.NextReuse) overwrite the yielded document
+// on the next call; callers that retain documents across calls clone them
+// first.
+func (d *Document) Clone() *Document {
+	cells := make([]Cell, len(d.Cells))
+	copy(cells, d.Cells)
+	return &Document{ID: d.ID, Cells: cells}
+}
+
+// DecodeInto decodes one packed record from the start of b directly into
+// d, reusing d's cell capacity so a steady-state decode loop allocates
+// nothing. It is the document-side twin of codec.DecodeRecordInto: one
+// bounds check against the full record size up front, then a straight
+// 5-byte unpack loop, with the strictly-ascending invariant verified by a
+// flag instead of a per-cell early exit. On error d is left with zero
+// cells. Returns the number of bytes consumed.
+func DecodeInto(d *Document, b []byte) (int64, error) {
+	if len(b) < codec.DocHeaderSize {
+		d.Cells = d.Cells[:0]
+		return 0, fmt.Errorf("document: %w: need %d header bytes, have %d", codec.ErrShortBuffer, codec.DocHeaderSize, len(b))
+	}
+	number := codec.Uint24(b)
+	count := int(codec.Uint24(b[codec.DocNumberSize:]))
+	size := codec.EncodedRecordSize(count)
+	if int64(len(b)) < size {
+		d.Cells = d.Cells[:0]
+		return 0, fmt.Errorf("document: %w: record needs %d bytes, have %d", codec.ErrShortBuffer, size, len(b))
+	}
+	if cap(d.Cells) < count {
+		d.Cells = make([]Cell, count)
+	}
+	d.Cells = d.Cells[:count]
+	body := b[codec.DocHeaderSize:size:size]
+	ascending := true
+	prev := int64(-1)
+	for i := range d.Cells {
+		c := body[i*codec.CellSize : i*codec.CellSize+codec.CellSize]
+		t := uint32(c[0]) | uint32(c[1])<<8 | uint32(c[2])<<16
+		d.Cells[i] = Cell{Term: t, Weight: uint16(c[3]) | uint16(c[4])<<8}
+		ascending = ascending && int64(t) > prev
+		prev = int64(t)
+	}
+	if !ascending {
+		d.Cells = d.Cells[:0]
+		return 0, fmt.Errorf("document: %w: cells not strictly ascending", codec.ErrCorrupt)
+	}
+	d.ID = number
+	return size, nil
+}
+
 // ToRecord converts a Document into its storage record.
 func (d *Document) ToRecord() codec.Record {
 	cells := make([]codec.Cell, len(d.Cells))

@@ -62,6 +62,15 @@ func (e *Entry) Bytes() int64 { return codec.EncodedRecordSize(len(e.Cells)) }
 // DocFreq returns the entry's document frequency.
 func (e *Entry) DocFreq() int { return len(e.Cells) }
 
+// Clone returns a deep copy of e whose cells do not alias e's. Reuse-style
+// scanning (Scanner.NextReuse) overwrites the yielded entry on the next
+// call; callers that retain entries across calls clone them first.
+func (e *Entry) Clone() *Entry {
+	cells := make([]codec.Cell, len(e.Cells))
+	copy(cells, e.Cells)
+	return &Entry{Term: e.Term, Cells: cells}
+}
+
 // InvertedFile is a handle to a built inverted file and its B+tree.
 type InvertedFile struct {
 	entries *iosim.File
@@ -330,11 +339,19 @@ func (f *InvertedFile) DocFreq(term uint32) (int64, error) {
 
 // Scanner iterates entries in ascending term order, reading the entry file
 // sequentially exactly once (the access pattern of VVM's merge scan).
+//
+// Like collection.Scanner, it consumes records from a page-backed window:
+// an entry that lies entirely within the current page is decoded straight
+// out of the page image, and only entries crossing a page boundary are
+// stitched through a reused scratch buffer.
 type Scanner struct {
 	f        *InvertedFile
 	nextPage int64
-	buf      []byte
-	read     int64
+	// window is the unconsumed tail of the most recently read page (it
+	// aliases the page image, or scratch after a stitch).
+	window   []byte
+	scratch  []byte
+	entry    Entry // arena for NextReuse
 	consumed int64
 	err      error
 }
@@ -344,8 +361,11 @@ func (f *InvertedFile) Scan() *Scanner {
 	return &Scanner{f: f}
 }
 
-// Next returns the next entry, or io.EOF after the last one.
-func (s *Scanner) Next() (*Entry, error) {
+// NextReuse returns the next entry, or io.EOF after the last one. The
+// entry lives in the scanner's arena: it is valid only until the next
+// call, and callers that retain it must Clone it. The steady state
+// allocates nothing.
+func (s *Scanner) NextReuse() (*Entry, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
@@ -353,41 +373,58 @@ func (s *Scanner) Next() (*Entry, error) {
 		s.err = io.EOF
 		return nil, io.EOF
 	}
-	// Ensure the record header is buffered, then the whole record.
-	need := int64(codec.EntryHeaderSize)
-	for int64(len(s.buf)) < need {
-		if err := s.fill(); err != nil {
-			return nil, err
-		}
+	// Ensure the record header is windowed, then the whole record.
+	if err := s.ensure(codec.EntryHeaderSize); err != nil {
+		return nil, err
 	}
-	size, err := codec.PeekRecordSize(s.buf)
+	size, err := codec.PeekRecordSize(s.window)
 	if err != nil {
 		s.err = err
 		return nil, err
 	}
-	for int64(len(s.buf)) < size {
-		if err := s.fill(); err != nil {
-			return nil, err
-		}
+	if err := s.ensure(size); err != nil {
+		return nil, err
 	}
-	rec, consumed, err := codec.DecodeRecord(s.buf)
+	term, cells, consumed, err := codec.DecodeRecordInto(s.window[:size], s.entry.Cells[:0])
 	if err != nil {
 		s.err = err
 		return nil, err
 	}
-	s.buf = s.buf[consumed:]
+	s.entry.Term = term
+	s.entry.Cells = cells
+	s.window = s.window[consumed:]
 	s.consumed += consumed
-	return &Entry{Term: rec.Number, Cells: rec.Cells}, nil
+	return &s.entry, nil
 }
 
-func (s *Scanner) fill() error {
-	page, err := s.f.entries.ReadPage(s.nextPage)
+// Next returns the next entry, or io.EOF after the last one. The entry is
+// freshly allocated and safe to retain (HVNL's preload caches it; parallel
+// VVM keeps it in flight across workers).
+func (s *Scanner) Next() (*Entry, error) {
+	e, err := s.NextReuse()
 	if err != nil {
-		s.err = err
-		return err
+		return nil, err
 	}
-	s.nextPage++
-	s.buf = append(s.buf, page...)
-	s.read += int64(len(page))
+	return e.Clone(), nil
+}
+
+// ensure stitches pages into scratch until the window holds at least n
+// bytes. The window may already alias scratch; append copies via memmove,
+// so the overlap is safe.
+func (s *Scanner) ensure(n int64) error {
+	if int64(len(s.window)) >= n {
+		return nil
+	}
+	s.scratch = append(s.scratch[:0], s.window...)
+	for int64(len(s.scratch)) < n {
+		page, err := s.f.entries.ReadPage(s.nextPage)
+		if err != nil {
+			s.err = err
+			return err
+		}
+		s.nextPage++
+		s.scratch = append(s.scratch, page...)
+	}
+	s.window = s.scratch
 	return nil
 }

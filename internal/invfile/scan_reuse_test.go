@@ -1,0 +1,112 @@
+package invfile
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"textjoin/internal/codec"
+	"textjoin/internal/document"
+	"textjoin/internal/iosim"
+)
+
+// TestQuickScanReuseMatchesFetch property-tests the reuse scan path of
+// the inverted file: on random corpora and page sizes, the entry sequence
+// yielded by NextReuse must be byte-identical to fetching every term
+// through the allocating FetchEntry/DecodeRecord path (which reads the
+// B+tree for the address instead of scanning).
+func TestQuickScanReuseMatchesFetch(t *testing.T) {
+	check := func(seed int64, pageSel uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		pageSizes := []int{64, 128, 256, 1024}
+		d := iosim.NewDisk(iosim.WithPageSize(pageSizes[int(pageSel)%len(pageSizes)]))
+		c := buildCollection(t, d, "c", randomDocs(r, r.Intn(25)+1, 50, 10))
+		inv := buildInverted(t, d, c, "c")
+
+		index, err := inv.LoadIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := inv.Scan()
+		for _, leaf := range index.Cells() {
+			want, err := inv.FetchEntry(leaf.Term)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sc.NextReuse()
+			if err != nil {
+				t.Fatalf("term %d: %v", leaf.Term, err)
+			}
+			if got.Term != want.Term || len(got.Cells) != len(want.Cells) {
+				return false
+			}
+			for i := range got.Cells {
+				if got.Cells[i] != want.Cells[i] {
+					return false
+				}
+			}
+		}
+		if _, err := sc.NextReuse(); err != io.EOF {
+			t.Fatalf("after last entry: %v, want EOF", err)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScanReuseArenaSemantics pins the reuse contract on the inverted
+// file scanner: NextReuse yields one arena entry overwritten per call,
+// while Next returns stable clones safe to retain (HVNL's preload caches
+// them; parallel VVM keeps them in flight).
+func TestScanReuseArenaSemantics(t *testing.T) {
+	d := iosim.NewDisk(iosim.WithPageSize(128))
+	c := buildCollection(t, d, "c", []*document.Document{
+		mkdoc(0, 1, 1, 2, 5),
+		mkdoc(1, 2, 3, 5, 5),
+		mkdoc(2, 1, 3, 4),
+	})
+	inv := buildInverted(t, d, c, "c")
+
+	sc := inv.Scan()
+	first, err := sc.NextReuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstTerm := first.Term
+	second, err := sc.NextReuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("NextReuse yielded distinct entries %p and %p, want one arena", first, second)
+	}
+	if first.Term == firstTerm {
+		t.Fatalf("arena still holds term %d after the next call", firstTerm)
+	}
+
+	sc2 := inv.Scan()
+	e0, err := sc2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	term0 := e0.Term
+	cells0 := append([]codec.Cell(nil), e0.Cells...)
+	for {
+		if _, err := sc2.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e0.Term != term0 || len(e0.Cells) != len(cells0) {
+		t.Fatalf("entry from Next mutated by later scanning: term %d -> %d", term0, e0.Term)
+	}
+	for i := range cells0 {
+		if e0.Cells[i] != cells0[i] {
+			t.Fatalf("cell %d of retained entry mutated", i)
+		}
+	}
+}

@@ -427,6 +427,14 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *JoinStats
 	return core.JoinVVMParallel(in, opts, workers)
 }
 
+// JoinHVNLParallel runs HVNL with probe-side accumulation fanned out over
+// workers owning disjoint inner-id blocks; the B+tree lookups, entry
+// fetches and cache stay single-threaded in serial order, so I/O and
+// cache statistics match the serial algorithm exactly.
+func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *JoinStats, error) {
+	return core.JoinHVNLParallel(in, opts, workers)
+}
+
 // MeasureOverlap returns the measured probability that a distinct term of
 // outer also appears in inner — the paper's q (swap the arguments for p) —
 // computed exactly from the memory-resident document-frequency tables.
