@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-smoke race
+.PHONY: build test verify bench bench-smoke race trace-smoke
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,13 @@ test: build
 
 # verify is the CI gate for the concurrent join paths: vet everything,
 # then race-check the packages with goroutines (owner-sharded parallel
-# VVM and HVNL, parallel HHNL), the accumulator layer they share, and the
-# entry cache the parallel HVNL coordinator drives.
+# VVM and HVNL, parallel HHNL), the accumulator layer they share, the
+# entry cache the parallel HVNL coordinator drives, and the telemetry
+# collector they all report to. The core run includes the differential
+# harness (telemetry on/off invariance, concurrent snapshots).
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/...
+	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/... ./internal/telemetry/...
 
 race:
 	$(GO) test -race ./...
@@ -23,6 +25,14 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # bench-smoke runs every benchmark exactly once — a fast compile-and-run
-# check that the bench suite itself still works.
+# check that the bench suite itself still works. BenchmarkTelemetryOverhead
+# fails this target if the disabled telemetry path ever allocates.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
+
+# trace-smoke runs a real join with -telemetry json and validates the
+# emitted snapshot against the exporter schema (cmd/tracecheck). The
+# snapshot goes to stderr, results to stdout, so 2>&1 1>/dev/null routes
+# only the snapshot into the checker.
+trace-smoke:
+	$(GO) run ./cmd/textjoin -p1 wsj -p2 wsj -scale 8192 -alg auto -lambda 5 -mem 200 -show 0 -telemetry json 2>&1 1>/dev/null | $(GO) run ./cmd/tracecheck

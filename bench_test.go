@@ -30,6 +30,7 @@ import (
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
 	"textjoin/internal/simulate"
+	"textjoin/internal/telemetry"
 )
 
 // BenchmarkTable1 regenerates the collection statistics table.
@@ -124,6 +125,7 @@ func BenchmarkFindings(b *testing.B) {
 
 // measuredEnv caches the scaled corpora shared by the Measured benches.
 type measuredEnv struct {
+	d  *iosim.Disk
 	in core.Inputs
 }
 
@@ -150,7 +152,7 @@ func newMeasuredEnv(b *testing.B, scale int64) *measuredEnv {
 	inv1 := mkInv(c1, "c1")
 	inv2 := mkInv(c2, "c2")
 	d.ResetStats()
-	return &measuredEnv{in: core.Inputs{Outer: c2, Inner: c1, InnerInv: inv1, OuterInv: inv2}}
+	return &measuredEnv{d: d, in: core.Inputs{Outer: c2, Inner: c1, InnerInv: inv1, OuterInv: inv2}}
 }
 
 func benchMeasured(b *testing.B, alg core.Algorithm, opts core.Options) {
@@ -181,6 +183,57 @@ func BenchmarkMeasuredHVNL(b *testing.B) {
 // BenchmarkMeasuredVVM runs the real VVM on a 1/1024-scale WSJ pair.
 func BenchmarkMeasuredVVM(b *testing.B) {
 	benchMeasured(b, core.VVM, core.Options{Lambda: 20, MemoryPages: 100})
+}
+
+// BenchmarkTelemetryOverhead measures what the instrumentation layer
+// costs each measured join: disabled (nil collector — the default) vs
+// enabled (collector attached to both the disk and the join). The
+// disabled sub-benchmarks first assert that the nil-collector primitives
+// allocate nothing, so even a 1x bench-smoke run fails if the disabled
+// path regresses.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	algs := []struct {
+		name string
+		alg  core.Algorithm
+	}{{"HHNL", core.HHNL}, {"HVNL", core.HVNL}, {"VVM", core.VVM}}
+	opts := core.Options{Lambda: 20, MemoryPages: 100}
+	for _, a := range algs {
+		env := newMeasuredEnv(b, 1024)
+		b.Run(a.name+"/disabled", func(b *testing.B) {
+			var tel *telemetry.Collector
+			if allocs := testing.AllocsPerRun(100, func() {
+				tel.Counter("x").Add(1)
+				tel.Histogram("h", telemetry.DefaultSizeBuckets).Observe(1)
+				tel.StartSpan(telemetry.PhaseScan, "s").End()
+				tel.Event(telemetry.PhaseIO, "e", 1)
+			}); allocs != 0 {
+				b.Fatalf("disabled telemetry path allocates %v/op, want 0", allocs)
+			}
+			env.d.SetCollector(nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Join(a.alg, env.in, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(a.name+"/enabled", func(b *testing.B) {
+			tel := telemetry.New()
+			env.d.SetCollector(tel)
+			o := opts
+			o.Telemetry = tel
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Join(a.alg, env.in, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			env.d.SetCollector(nil)
+		})
+	}
 }
 
 // BenchmarkMeasuredIntegrated runs choice + execution.

@@ -20,6 +20,7 @@ import (
 	"textjoin/internal/corpus"
 	"textjoin/internal/costmodel"
 	"textjoin/internal/simulate"
+	"textjoin/internal/telemetry"
 )
 
 func main() {
@@ -27,15 +28,16 @@ func main() {
 	scale := flag.Int64("scale", 256, "corpus shrink divisor for -group measured")
 	mem := flag.Int64("mem", 200, "memory budget B in pages for -group measured")
 	seed := flag.Int64("seed", 1, "corpus seed for -group measured")
+	telemetryMode := flag.String("telemetry", "", "emit a telemetry snapshot to stderr after -group measured: text or json")
 	flag.Parse()
 
-	if err := run(*group, *scale, *mem, *seed); err != nil {
+	if err := run(*group, *scale, *mem, *seed, *telemetryMode); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(group string, scale, mem, seed int64) error {
+func run(group string, scale, mem, seed int64, telemetryMode string) error {
 	printTables := func(tables []*simulate.Table) {
 		for _, t := range tables {
 			fmt.Println(t.Format())
@@ -81,17 +83,32 @@ func run(group string, scale, mem, seed int64) error {
 			fmt.Printf("%-18s %s\n", t.ID, strings.Join(choices, "  "))
 		}
 	case "measured":
+		var tel *telemetry.Collector
+		var sink telemetry.Sink
+		if telemetryMode != "" {
+			var err error
+			sink, err = telemetry.SinkFor(telemetryMode)
+			if err != nil {
+				return err
+			}
+			tel = telemetry.New()
+		}
 		for _, pair := range [][2]corpus.Profile{
 			{corpus.WSJ, corpus.WSJ},
 			{corpus.FR, corpus.FR},
 			{corpus.DOE, corpus.DOE},
 			{corpus.WSJ, corpus.DOE},
 		} {
-			res, err := simulate.Measured(pair[0], pair[1], scale, mem, seed)
+			res, err := simulate.MeasuredTelemetry(pair[0], pair[1], scale, mem, seed, tel)
 			if err != nil {
 				return err
 			}
 			fmt.Println(res.Format())
+		}
+		if tel != nil {
+			if err := sink.Export(os.Stderr, tel.Snapshot()); err != nil {
+				return err
+			}
 		}
 	default:
 		return fmt.Errorf("unknown group %q", group)

@@ -24,7 +24,7 @@ func silence(t *testing.T) {
 func TestRunGroups(t *testing.T) {
 	silence(t)
 	for _, group := range []string{"table1", "1", "2", "3", "4", "5", "lambda", "delta", "extended", "findings", "integrated"} {
-		if err := run(group, 0, 0, 0); err != nil {
+		if err := run(group, 0, 0, 0, ""); err != nil {
 			t.Errorf("run(%q): %v", group, err)
 		}
 	}
@@ -32,7 +32,7 @@ func TestRunGroups(t *testing.T) {
 
 func TestRunAll(t *testing.T) {
 	silence(t)
-	if err := run("all", 0, 0, 0); err != nil {
+	if err := run("all", 0, 0, 0, ""); err != nil {
 		t.Errorf("run(all): %v", err)
 	}
 }
@@ -42,13 +42,13 @@ func TestRunMeasured(t *testing.T) {
 		t.Skip("empirical run")
 	}
 	silence(t)
-	if err := run("measured", 2048, 200, 1); err != nil {
+	if err := run("measured", 2048, 200, 1, ""); err != nil {
 		t.Errorf("run(measured): %v", err)
 	}
 }
 
 func TestRunUnknownGroup(t *testing.T) {
-	if err := run("bogus", 0, 0, 0); err == nil {
+	if err := run("bogus", 0, 0, 0, ""); err == nil {
 		t.Error("unknown group: want error")
 	}
 }

@@ -17,6 +17,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"textjoin/internal/collection"
@@ -25,6 +27,7 @@ import (
 	"textjoin/internal/document"
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
+	"textjoin/internal/telemetry"
 )
 
 func main() {
@@ -43,18 +46,44 @@ func main() {
 	explain := flag.Bool("explain", false, "print the integrated algorithm's cost estimates")
 	queries := flag.String("queries", "", "run a memory-resident query batch (portable text format) against C1 instead of a stored C2")
 	saveDisk := flag.String("save-disk", "", "after building, snapshot the whole simulated disk to this file")
+	telemetryMode := flag.String("telemetry", "", "emit a telemetry snapshot to stderr after the join: text or json")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if *queries != "" {
-		if err := runBatch(*c1Path, *p1, *scale, *seed, *queries, *lambda, *mem, *alpha, *weighting, *show); err != nil {
+	var tel *telemetry.Collector
+	var sink telemetry.Sink
+	if *telemetryMode != "" {
+		var err error
+		sink, err = telemetry.SinkFor(*telemetryMode)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "textjoin:", err)
 			os.Exit(1)
 		}
-		return
+		tel = telemetry.New()
 	}
-	if err := run(*c1Path, *c2Path, *p1, *p2, *scale, *seed, *alg, *lambda, *mem, *alpha, *weighting, *show, *explain, *saveDisk); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "textjoin: pprof:", err)
+			}
+		}()
+	}
+
+	var err error
+	if *queries != "" {
+		err = runBatch(*c1Path, *p1, *scale, *seed, *queries, *lambda, *mem, *alpha, *weighting, *show, tel)
+	} else {
+		err = run(*c1Path, *c2Path, *p1, *p2, *scale, *seed, *alg, *lambda, *mem, *alpha, *weighting, *show, *explain, *saveDisk, tel)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "textjoin:", err)
 		os.Exit(1)
+	}
+	if tel != nil {
+		if err := sink.Export(os.Stderr, tel.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "textjoin: telemetry export:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -75,7 +104,7 @@ func saveSnapshot(d *iosim.Disk, path string) error {
 // runBatch joins an ad-hoc query batch (no stored collection, no inverted
 // file on the batch) against C1 — the paper's batch-query scenario. The
 // integrated algorithm picks between HHNL and HVNL; VVM is inapplicable.
-func runBatch(c1Path, p1 string, scale, seed int64, queriesPath string, lambda int, mem int64, alphaRatio float64, weighting string, show int) error {
+func runBatch(c1Path, p1 string, scale, seed int64, queriesPath string, lambda int, mem int64, alphaRatio float64, weighting string, show int, tel *telemetry.Collector) error {
 	d := iosim.NewDisk(iosim.WithPageSize(4096), iosim.WithAlpha(alphaRatio))
 	c1, err := loadCollection(d, "c1", c1Path, p1, scale, seed)
 	if err != nil {
@@ -107,13 +136,14 @@ func runBatch(c1Path, p1 string, scale, seed int64, queriesPath string, lambda i
 		return err
 	}
 	d.ResetStats()
+	d.SetCollector(tel)
 
 	w, err := document.ParseWeighting(weighting)
 	if err != nil {
 		return err
 	}
 	in := core.Inputs{Outer: batch, Inner: c1, InnerInv: inv1}
-	opts := core.Options{Lambda: lambda, MemoryPages: mem, Weighting: w}
+	opts := core.Options{Lambda: lambda, MemoryPages: mem, Weighting: w, Telemetry: tel}
 	results, stats, dec, err := core.JoinIntegrated(in, opts)
 	if err != nil {
 		return err
@@ -162,7 +192,7 @@ func loadCollection(d *iosim.Disk, name, path, profileName string, scale, seed i
 	}
 }
 
-func run(c1Path, c2Path, p1, p2 string, scale, seed int64, algName string, lambda int, mem int64, alpha float64, weighting string, show int, explain bool, saveDisk string) error {
+func run(c1Path, c2Path, p1, p2 string, scale, seed int64, algName string, lambda int, mem int64, alpha float64, weighting string, show int, explain bool, saveDisk string, tel *telemetry.Collector) error {
 	d := iosim.NewDisk(iosim.WithPageSize(4096), iosim.WithAlpha(alpha))
 	c1, err := loadCollection(d, "c1", c1Path, p1, scale, seed)
 	if err != nil {
@@ -198,13 +228,14 @@ func run(c1Path, c2Path, p1, p2 string, scale, seed int64, algName string, lambd
 		fmt.Printf("disk snapshot written to %s\n", saveDisk)
 	}
 	d.ResetStats()
+	d.SetCollector(tel)
 
 	w, err := document.ParseWeighting(weighting)
 	if err != nil {
 		return err
 	}
 	in := core.Inputs{Outer: c2, Inner: c1, InnerInv: inv1, OuterInv: inv2}
-	opts := core.Options{Lambda: lambda, MemoryPages: mem, Weighting: w}
+	opts := core.Options{Lambda: lambda, MemoryPages: mem, Weighting: w, Telemetry: tel}
 
 	st1, st2 := c1.Stats(), c2.Stats()
 	fmt.Printf("C1: %s  N=%d K=%.1f T=%d D=%d pages\n", c1.Name(), st1.N, st1.K, st1.T, st1.D)

@@ -1,0 +1,31 @@
+// Command tracecheck validates a JSON telemetry snapshot read from
+// stdin against the exporter schema: counters and histograms sorted and
+// well-formed, bucket counts consistent, trace entries strictly ordered.
+// It exits 0 on a valid snapshot and 1 otherwise, so it can terminate a
+// pipeline like
+//
+//	textjoin ... -telemetry json 2>&1 1>/dev/null | tracecheck
+//
+// in the trace-smoke Makefile target.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"textjoin/internal/telemetry"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: read stdin:", err)
+		os.Exit(1)
+	}
+	if err := telemetry.ValidateJSON(data); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tracecheck: snapshot ok")
+}

@@ -59,6 +59,9 @@ func (f *Flat) ForEach(fn func(id uint32, v float64)) {
 	}
 }
 
+// Kind names the store for telemetry labels.
+func (f *Flat) Kind() string { return "flat" }
+
 // Reset clears only the touched slots, readying the accumulator for the
 // next outer document.
 func (f *Flat) Reset() {
@@ -87,6 +90,9 @@ type Accumulator interface {
 	// Bytes returns the resident size of the store, for
 	// Stats.PeakMemoryBytes.
 	Bytes() int64
+	// Kind names the store ("dense" or "table") so telemetry can label
+	// which regime a pass ran in.
+	Kind() string
 }
 
 // UseDense reports whether a dense rows×cols float64 matrix fits within
@@ -148,6 +154,9 @@ func (d *Dense) Len() int {
 
 // Bytes returns the matrix size.
 func (d *Dense) Bytes() int64 { return int64(len(d.vals)) * 8 }
+
+// Kind names the store for telemetry labels.
+func (d *Dense) Kind() string { return "dense" }
 
 // Table is a power-of-two open-addressing accumulator keyed by
 // (row, inner). Linear probing, fibonacci hashing, grown at 3/4 load.
@@ -248,3 +257,6 @@ func (t *Table) Len() int { return t.n }
 
 // Bytes returns the size of the key and value arrays.
 func (t *Table) Bytes() int64 { return int64(len(t.keys)) * 16 }
+
+// Kind names the store for telemetry labels.
+func (t *Table) Kind() string { return "table" }

@@ -26,12 +26,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"textjoin/internal/collection"
 	"textjoin/internal/document"
 	"textjoin/internal/entrycache"
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/topk"
 )
 
@@ -117,6 +119,11 @@ type Options struct {
 	// CachePolicy selects HVNL's entry replacement policy. The default
 	// is the paper's MinOuterDF.
 	CachePolicy entrycache.Policy
+	// Telemetry receives per-phase spans, counters and histograms while
+	// the join runs. nil (the default) disables instrumentation with
+	// near-zero overhead; enabling it never changes results or Stats,
+	// which the differential test harness pins.
+	Telemetry *telemetry.Collector
 }
 
 // withDefaults fills in the paper's base values.
@@ -231,6 +238,27 @@ func (t *ioTracker) delta() iosim.Stats {
 		total.Add(f.Stats().Sub(t.before[i]))
 	}
 	return total
+}
+
+// recordJoinStats publishes a finished join's Stats as telemetry
+// counters under "join.<alg>.*", so one snapshot carries the same
+// counts the Stats struct reports after the fact. No-op when tel is
+// nil; never mutates stats, so enabled and disabled runs stay
+// byte-identical.
+func recordJoinStats(tel *telemetry.Collector, st *Stats) {
+	if tel == nil {
+		return
+	}
+	p := "join." + strings.ToLower(st.Algorithm.String())
+	tel.Counter(p+".outer_docs").Add(st.OuterDocs)
+	tel.Counter(p+".inner_docs").Add(st.InnerDocs)
+	tel.Counter(p+".comparisons").Add(st.Comparisons)
+	tel.Counter(p+".accumulations").Add(st.Accumulations)
+	tel.Counter(p+".entry_fetches").Add(st.EntryFetches)
+	tel.Counter(p+".passes").Add(int64(st.Passes))
+	tel.Counter(p+".io.seq").Add(st.IO.SeqReads)
+	tel.Counter(p+".io.rand").Add(st.IO.RandReads)
+	tel.Counter(p+".peak_bytes").Add(st.PeakMemoryBytes)
 }
 
 // alpha returns the cost ratio of the disk backing the first non-nil file.

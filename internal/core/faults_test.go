@@ -2,9 +2,14 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"textjoin/internal/iosim"
+	"textjoin/internal/telemetry"
 )
 
 // Every join algorithm must propagate storage errors instead of masking
@@ -53,6 +58,77 @@ func TestVVMPropagatesSecondFileFaults(t *testing.T) {
 	if !errors.Is(err, iosim.ErrInjected) {
 		t.Fatalf("err = %v, want ErrInjected", err)
 	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want or the deadline passes, absorbing scheduler lag without sleeps of
+// fixed length.
+func waitGoroutines(tb testing.TB, want int) {
+	tb.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > want {
+		tb.Errorf("goroutine leak: %d running, want <= %d", n, want)
+	}
+}
+
+// The parallel joins must propagate storage faults exactly like their
+// serial counterparts: a clean wrapped error, no partial results, no
+// leaked worker goroutines — and an attached collector must record the
+// storage-level fault event.
+func TestParallelJoinsPropagateStorageFaults(t *testing.T) {
+	variants := []struct {
+		name string
+		run  func(Inputs, Options, int) ([]Result, *Stats, error)
+	}{
+		{"hhnl", JoinHHNLParallel},
+		{"hvnl", JoinHVNLParallel},
+		{"vvm", JoinVVMParallel},
+	}
+	for _, v := range variants {
+		for _, workers := range []int{2, 7} {
+			v, workers := v, workers
+			t.Run(fmt.Sprintf("%s/w%d", v.name, workers), func(t *testing.T) {
+				before := runtime.NumGoroutine()
+				e := buildEnv(t, 36, 20, 20, 40, 10, 128)
+				tel := telemetry.New()
+				e.disk.SetCollector(tel)
+				e.disk.InjectFaults(iosim.FaultPlan{FailAfterReads: 5, Repeat: true})
+				res, _, err := v.run(e.inputs(), Options{Lambda: 3, MemoryPages: 100, Telemetry: tel}, workers)
+				if !errors.Is(err, iosim.ErrInjected) {
+					t.Fatalf("err = %v, want ErrInjected", err)
+				}
+				if res != nil {
+					t.Error("partial results returned alongside error")
+				}
+				found := false
+				for _, en := range tel.Snapshot().Trace {
+					if en.Kind == telemetry.KindEvent && en.Phase == telemetry.PhaseIO && strings.HasPrefix(en.Name, "fault.") {
+						found = true
+					}
+				}
+				if !found {
+					t.Error("no io fault event in the telemetry trace")
+				}
+				waitGoroutines(t, before)
+			})
+		}
+	}
+}
+
+// A fault confined to the B+tree file must stop the parallel HVNL before
+// any worker spawns, and still leak nothing.
+func TestParallelHVNLPropagatesBTreeFaults(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := buildEnv(t, 37, 20, 20, 40, 10, 128)
+	e.disk.InjectFaults(iosim.FaultPlan{FailFile: "c1.bt", Repeat: true})
+	_, _, err := JoinHVNLParallel(e.inputs(), Options{Lambda: 3, MemoryPages: 100}, 4)
+	if !errors.Is(err, iosim.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	waitGoroutines(t, before)
 }
 
 // A fault that fires during one run must not poison a later run after the

@@ -7,6 +7,7 @@ import (
 	"textjoin/internal/collection"
 	"textjoin/internal/document"
 	"textjoin/internal/iosim"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/topk"
 )
 
@@ -72,6 +73,7 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 		return nil, nil, err
 	}
 	track := trackIO(in.Outer.File(), in.Inner.File())
+	tel := opts.Telemetry
 
 	var results []Result
 	outer := in.Outer.Documents()
@@ -79,6 +81,7 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 	done := false
 	for !done {
 		// Fill the next batch of outer documents within the budget.
+		fill := tel.StartSpan(telemetry.PhaseScan, "hhnl.fill-batch")
 		var batch []*document.Document
 		var used int64
 		for {
@@ -108,6 +111,7 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 			batch = append(batch, d)
 			used += cost
 		}
+		fill.End()
 		if len(batch) == 0 {
 			break
 		}
@@ -124,6 +128,7 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 		// One full scan of the inner collection per batch. Each inner
 		// document is consumed before the next is read, so the scan's
 		// reuse arena suffices — the hot loop allocates nothing.
+		score := tel.StartSpan(telemetry.PhaseScore, "hhnl.inner-scan")
 		inner := in.Inner.Scan()
 		for {
 			d1, err := inner.NextReuse()
@@ -139,12 +144,16 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 				trackers[i].Offer(d1.ID, sim)
 			}
 		}
+		score.End()
+		flush := tel.StartSpan(telemetry.PhaseFlush, "hhnl.flush-batch")
 		for i, d2 := range batch {
 			results = append(results, Result{Outer: d2.ID, Matches: trackers[i].Results()})
 		}
+		flush.End()
 	}
 	stats.IO = track.delta()
 	stats.Cost = stats.IO.Cost(alpha(in.Inner.File()))
+	recordJoinStats(tel, stats)
 	return results, stats, nil
 }
 
@@ -166,6 +175,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 			ErrInsufficientMemory, opts.MemoryPages, in.Outer.NumDocs())
 	}
 	track := trackIO(in.Outer.File(), in.Inner.File())
+	tel := opts.Telemetry
 
 	trackers := make(map[uint32]*topk.TopK)
 	var order []uint32
@@ -174,6 +184,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 	done := false
 	firstPass := true
 	for !done {
+		fill := tel.StartSpan(telemetry.PhaseScan, "hhnl.backward.fill-batch")
 		var batch []*document.Document
 		var used int64
 		for {
@@ -203,6 +214,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 			batch = append(batch, d)
 			used += cost
 		}
+		fill.End()
 		if len(batch) == 0 {
 			break
 		}
@@ -214,6 +226,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 		// The streamed outer side is consumed one document at a time, so
 		// the reuse path applies (the resident inner batch, by contrast,
 		// is built from stable Next documents above).
+		score := tel.StartSpan(telemetry.PhaseScore, "hhnl.backward.outer-scan")
 		outerIt := in.Outer.Documents()
 		for {
 			d2, err := collection.NextReuse(outerIt)
@@ -238,6 +251,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 				tk.Offer(d1.ID, sim)
 			}
 		}
+		score.End()
 		firstPass = false
 	}
 	if stats.Passes == 0 {
@@ -257,11 +271,14 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 			stats.OuterDocs++
 		}
 	}
+	flush := tel.StartSpan(telemetry.PhaseFinalize, "hhnl.backward.finalize")
 	results := make([]Result, 0, len(order))
 	for _, id := range order {
 		results = append(results, Result{Outer: id, Matches: trackers[id].Results()})
 	}
+	flush.End()
 	stats.IO = track.delta()
 	stats.Cost = stats.IO.Cost(alpha(in.Inner.File()))
+	recordJoinStats(tel, stats)
 	return results, stats, nil
 }

@@ -9,6 +9,7 @@ import (
 	"textjoin/internal/document"
 	"textjoin/internal/entrycache"
 	"textjoin/internal/iosim"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/topk"
 )
 
@@ -56,9 +57,12 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 		treeFile = in.InnerInv.Tree().File()
 	}
 	track := trackIO(in.Outer.File(), invFile, treeFile)
+	tel := opts.Telemetry
 
 	// One-time load of the B+tree into memory.
+	setup := tel.StartSpan(telemetry.PhaseSetup, "hvnl.load-index")
 	index, err := in.InnerInv.LoadIndex()
+	setup.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -85,6 +89,7 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 	// computation ... no extra effort is needed to get them").
 	outerDF := in.Outer.DF
 	cache := entrycache.New(cacheBudget, opts.CachePolicy, func(term uint32) int64 { return outerDF(term) })
+	cache.SetTelemetry(tel)
 
 	stats := &Stats{Algorithm: HVNL, InnerDocs: in.Inner.NumDocs()}
 
@@ -110,6 +115,7 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 		seqCost := float64(invStats.I)
 		randCost := float64(neededPages) * invFile.Disk().Alpha()
 		if seqCost < randCost {
+			preload := tel.StartSpan(telemetry.PhaseScan, "hvnl.preload")
 			sc := in.InnerInv.Scan()
 			for {
 				entry, err := sc.Next()
@@ -121,15 +127,18 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 				}
 				cache.Put(entry.Term, entry, entry.Bytes()+3)
 			}
+			preload.End()
 			stats.Passes = 1 // one sequential sweep of the inverted file
 		}
 	}
 	var results []Result
 	acc := accum.NewFlat(int(in.Inner.NumDocs()))
 	var ordered []document.Cell // reusable cached-first ordering scratch
+	occupancy := tel.Histogram("hvnl.accum.occupancy", telemetry.DefaultSizeBuckets)
 
 	// Each outer document is fully processed before the next is read, so
 	// the reuse path applies: one arena document for the whole sweep.
+	probe := tel.StartSpan(telemetry.PhaseProbe, "hvnl.outer-sweep")
 	outer := in.Outer.Documents()
 	for {
 		d2, err := collection.NextReuse(outer)
@@ -183,6 +192,7 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 			stats.Accumulations += int64(len(entry.Cells))
 		}
 
+		occupancy.Observe(int64(acc.Len()))
 		tk := topk.New(opts.Lambda)
 		acc.ForEach(func(d1 uint32, raw float64) {
 			tk.Offer(d1, scorer.Finalize(d2.ID, d1, raw))
@@ -194,9 +204,11 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 		}
 		acc.Reset()
 	}
+	probe.End()
 
 	stats.Cache = cache.Stats()
 	stats.IO = track.delta()
 	stats.Cost = stats.IO.Cost(alpha(invFile))
+	recordJoinStats(tel, stats)
 	return results, stats, nil
 }

@@ -12,6 +12,7 @@ import (
 	"textjoin/internal/document"
 	"textjoin/internal/entrycache"
 	"textjoin/internal/iosim"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/topk"
 )
 
@@ -86,8 +87,11 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		treeFile = in.InnerInv.Tree().File()
 	}
 	track := trackIO(in.Outer.File(), invFile, treeFile)
+	tel := opts.Telemetry
 
+	setup := tel.StartSpan(telemetry.PhaseSetup, "hvnlp.load-index")
 	index, err := in.InnerInv.LoadIndex()
+	setup.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -105,6 +109,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 
 	outerDF := in.Outer.DF
 	cache := entrycache.New(cacheBudget, opts.CachePolicy, func(term uint32) int64 { return outerDF(term) })
+	cache.SetTelemetry(tel)
 
 	stats := &Stats{Algorithm: HVNL, InnerDocs: in.Inner.NumDocs()}
 
@@ -125,6 +130,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		seqCost := float64(invStats.I)
 		randCost := float64(neededPages) * invFile.Disk().Alpha()
 		if seqCost < randCost {
+			preload := tel.StartSpan(telemetry.PhaseScan, "hvnlp.preload")
 			sc := in.InnerInv.Scan()
 			for {
 				entry, err := sc.Next()
@@ -136,6 +142,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 				}
 				cache.Put(entry.Term, entry, entry.Bytes()+3)
 			}
+			preload.End()
 			stats.Passes = 1
 		}
 	}
@@ -188,7 +195,14 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 
 	var slots []*hvnlDocSlot
 	var ordered []document.Cell
+	// Per-worker routed-cell counts, tracked on the coordinator (the only
+	// goroutine that routes) so workers stay contention-free.
+	var routed []int64
+	if tel != nil {
+		routed = make([]int64, nWorkers)
+	}
 
+	probe := tel.StartSpan(telemetry.PhaseProbe, "hvnlp.outer-sweep")
 	outer := in.Outer.Documents()
 	for {
 		d2, err := collection.NextReuse(outer)
@@ -247,6 +261,9 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 				end := start + sort.Search(len(cells)-start, func(k int) bool { return int(cells[start+k].Number) >= hi })
 				i = end
 				if start < end {
+					if routed != nil {
+						routed[wk] += int64(end - start)
+					}
 					chans[wk] <- hvnlWork{factor: factor, w: w, cells: cells[start:end]}
 				}
 			}
@@ -264,9 +281,14 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		}
 	}
 	finish()
+	probe.End()
+	for w, c := range routed {
+		tel.Counter(fmt.Sprintf("join.hvnl.worker.%d.routed_cells", w)).Add(c)
+	}
 
 	// Merge the per-worker candidates: disjoint blocks plus a total
 	// tracker order make the merged top-λ equal the serial one.
+	mergeSpan := tel.StartSpan(telemetry.PhaseMerge, "hvnlp.merge-trackers")
 	results := make([]Result, 0, len(slots))
 	for _, slot := range slots {
 		merged := topk.New(opts.Lambda)
@@ -277,9 +299,11 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		}
 		results = append(results, Result{Outer: slot.outer, Matches: merged.Results()})
 	}
+	mergeSpan.End()
 
 	stats.Cache = cache.Stats()
 	stats.IO = track.delta()
 	stats.Cost = stats.IO.Cost(alpha(invFile))
+	recordJoinStats(tel, stats)
 	return results, stats, nil
 }

@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"strings"
 
 	"textjoin/internal/collection"
 	"textjoin/internal/costmodel"
 	"textjoin/internal/stats"
+	"textjoin/internal/telemetry"
 )
 
 // ModelInput derives the cost-model description of a join from measured
@@ -106,15 +109,47 @@ func Choose(in Inputs, opts Options) (Decision, error) {
 	return dec, nil
 }
 
+// costUnits rounds a model cost to whole page units for a telemetry
+// event, clamping infeasible (+Inf) estimates to the largest value.
+func costUnits(c float64) int64 {
+	if math.IsInf(c, 1) || c >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(c + 0.5)
+}
+
+// recordPlan publishes the planner's estimates and choice as "plan" phase
+// events, so a snapshot shows estimated vs measured cost side by side.
+func recordPlan(tel *telemetry.Collector, dec Decision) {
+	if tel == nil {
+		return
+	}
+	for _, e := range dec.Estimates {
+		name := strings.ToLower(e.Algorithm.String())
+		tel.Event(telemetry.PhasePlan, "estimate."+name+".seq", costUnits(e.Seq))
+		tel.Event(telemetry.PhasePlan, "estimate."+name+".rand", costUnits(e.Rand))
+	}
+	tel.Counter("plan.chosen." + strings.ToLower(dec.Chosen.String())).Add(1)
+}
+
 // JoinIntegrated implements the paper's integrated algorithm: estimate the
 // cost of each basic algorithm from the collection statistics, system
 // parameters and query parameters, then run the one with the lowest
 // estimated cost.
 func JoinIntegrated(in Inputs, opts Options) ([]Result, *Stats, Decision, error) {
+	tel := opts.Telemetry
+	span := tel.StartSpan(telemetry.PhasePlan, "integrated.choose")
 	dec, err := Choose(in, opts)
+	span.End()
 	if err != nil {
 		return nil, nil, dec, err
 	}
+	recordPlan(tel, dec)
 	results, stats, err := Join(dec.Chosen, in, opts)
+	if err == nil && tel != nil {
+		// Measured counterpart of the estimates above: the chosen
+		// algorithm's actual α-priced cost, in the same page units.
+		tel.Event(telemetry.PhasePlan, "measured."+strings.ToLower(dec.Chosen.String())+".cost", costUnits(stats.Cost))
+	}
 	return results, stats, dec, err
 }

@@ -11,6 +11,7 @@ import (
 	"textjoin/internal/codec"
 	"textjoin/internal/document"
 	"textjoin/internal/invfile"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/topk"
 )
 
@@ -65,6 +66,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		return nil, nil, err
 	}
 	track := trackIO(in.Outer.File(), in.Inner.File())
+	tel := opts.Telemetry
 
 	const chunkSize = 64
 	chunkPool := sync.Pool{New: func() any {
@@ -77,6 +79,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 	var pending *document.Document
 	done := false
 	for !done {
+		fill := tel.StartSpan(telemetry.PhaseScan, "hhnlp.fill-batch")
 		var batch []*document.Document
 		var used int64
 		for {
@@ -106,6 +109,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 			batch = append(batch, d)
 			used += cost
 		}
+		fill.End()
 		if len(batch) == 0 {
 			break
 		}
@@ -148,6 +152,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		}
 
 		// Single-threaded sequential scan of the inner collection.
+		score := tel.StartSpan(telemetry.PhaseScore, "hhnlp.inner-scan")
 		var scanErr error
 		inner := in.Inner.Scan()
 		chunk := chunkPool.Get().(*[]*document.Document)
@@ -171,10 +176,12 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		}
 		close(chunks)
 		wg.Wait()
+		score.End()
 		if scanErr != nil {
 			return nil, nil, scanErr
 		}
 
+		merge := tel.StartSpan(telemetry.PhaseMerge, "hhnlp.merge-trackers")
 		for i, d2 := range batch {
 			merged := topk.New(opts.Lambda)
 			for w := 0; w < nWorkers; w++ {
@@ -184,12 +191,17 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 			}
 			results = append(results, Result{Outer: d2.ID, Matches: merged.Results()})
 		}
-		for _, c := range compCounts {
+		merge.End()
+		for w, c := range compCounts {
 			stats.Comparisons += c
+			if tel != nil {
+				tel.Counter(fmt.Sprintf("join.hhnl.worker.%d.comparisons", w)).Add(c)
+			}
 		}
 	}
 	stats.IO = track.delta()
 	stats.Cost = stats.IO.Cost(alpha(in.Inner.File()))
+	recordJoinStats(tel, stats)
 	return results, stats, nil
 }
 
@@ -238,6 +250,7 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 	}
 	stats := plan.stats
 	n1 := int(in.Inner.NumDocs())
+	tel := opts.Telemetry
 
 	var results []Result
 	for p := 0; p < plan.passes; p++ {
@@ -248,6 +261,13 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 		stats.Passes++
 		set := accum.NewIDSet(rangeIDs)
 		dense := accum.UseDense(len(rangeIDs), n1, plan.passBytes)
+		if tel != nil {
+			kind := "table"
+			if dense {
+				kind = "dense"
+			}
+			tel.Counter("join.vvm.accum." + kind).Add(1)
+		}
 
 		// Ownership: worker w owns the contiguous rank block
 		// [blocks[w], blocks[w+1]) of the (ascending) rangeIDs.
@@ -314,6 +334,7 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 		// Route each common-term pair: both the entry's cells and the rank
 		// blocks ascend by document number, so one forward sweep with a
 		// binary search per block boundary splits the cell list.
+		merge := tel.StartSpan(telemetry.PhaseMerge, "vvmp.merge-scan")
 		scanErr := mergeScan(in.InnerInv, in.OuterInv, false, func(term uint32, e1, e2 *invfile.Entry) {
 			factor := scorer.TermFactor(term)
 			if factor == 0 {
@@ -339,6 +360,7 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 			close(chans[w])
 		}
 		wg.Wait()
+		merge.End()
 		if scanErr != nil {
 			return nil, nil, scanErr
 		}
@@ -346,6 +368,9 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 		for w, c := range accCounts {
 			stats.Accumulations += c
 			memBytes += accs[w].Bytes()
+			if tel != nil {
+				tel.Counter(fmt.Sprintf("join.vvm.worker.%d.accumulations", w)).Add(c)
+			}
 		}
 		if memBytes > stats.PeakMemoryBytes {
 			stats.PeakMemoryBytes = memBytes
@@ -354,5 +379,6 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 	}
 	stats.IO = plan.track.delta()
 	stats.Cost = stats.IO.Cost(alpha(in.InnerInv.File()))
+	recordJoinStats(tel, stats)
 	return results, stats, nil
 }

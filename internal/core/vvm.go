@@ -8,6 +8,7 @@ import (
 	"textjoin/internal/collection"
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/topk"
 )
 
@@ -57,6 +58,8 @@ func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
 	}
 	stats := plan.stats
 	n1 := int(in.Inner.NumDocs())
+	tel := opts.Telemetry
+	occupancy := tel.Histogram("vvm.accum.occupancy", telemetry.DefaultSizeBuckets)
 
 	var results []Result
 	for p := 0; p < plan.passes; p++ {
@@ -67,7 +70,11 @@ func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
 		stats.Passes++
 		set := accum.NewIDSet(rangeIDs)
 		acc := accum.New(len(rangeIDs), n1, plan.passBytes)
+		if tel != nil {
+			tel.Counter("join.vvm.accum." + acc.Kind()).Add(1)
+		}
 
+		merge := tel.StartSpan(telemetry.PhaseMerge, "vvm.merge-scan")
 		if err := mergeScan(in.InnerInv, in.OuterInv, true, func(term uint32, e1, e2 *invfile.Entry) {
 			factor := scorer.TermFactor(term)
 			if factor == 0 {
@@ -85,16 +92,20 @@ func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
 				stats.Accumulations += int64(len(e1.Cells))
 			}
 		}); err != nil {
+			merge.End()
 			return nil, nil, err
 		}
+		merge.End()
 
 		if mem := acc.Bytes(); mem > stats.PeakMemoryBytes {
 			stats.PeakMemoryBytes = mem
 		}
+		occupancy.Observe(int64(acc.Len()))
 
 		// Emit the λ best matches for every outer document in the range,
 		// including documents with no non-zero similarity. rangeIDs is
 		// ascending, so row order is emission order.
+		finalize := tel.StartSpan(telemetry.PhaseFinalize, "vvm.emit-range")
 		trackers := make([]*topk.TopK, len(rangeIDs))
 		acc.ForEach(func(row int, inner uint32, raw float64) {
 			tk := trackers[row]
@@ -111,10 +122,12 @@ func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
 			}
 			results = append(results, Result{Outer: id, Matches: matches})
 		}
+		finalize.End()
 	}
 
 	stats.IO = plan.track.delta()
 	stats.Cost = stats.IO.Cost(alpha(in.InnerInv.File()))
+	recordJoinStats(tel, stats)
 	return results, stats, nil
 }
 

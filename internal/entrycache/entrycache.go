@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"textjoin/internal/invfile"
+	"textjoin/internal/telemetry"
 )
 
 // Policy selects the replacement victim.
@@ -85,6 +86,13 @@ type Cache struct {
 	heap     evictHeap
 	clock    int64
 	stats    Stats
+
+	// Telemetry counters keyed by policy name, resolved once by
+	// SetTelemetry; nil (no-op) when telemetry is disabled.
+	telHits      *telemetry.Counter
+	telMisses    *telemetry.Counter
+	telEvictions *telemetry.Counter
+	telRejected  *telemetry.Counter
 }
 
 // New creates a cache with the given byte budget. priority returns the
@@ -100,6 +108,21 @@ func New(budget int64, policy Policy, priority func(uint32) int64) *Cache {
 		priority: priority,
 		items:    make(map[uint32]*item),
 	}
+}
+
+// SetTelemetry attaches live hit/miss/eviction counters, named by the
+// cache's policy ("cache.<policy>.hits" etc.) so ablation runs comparing
+// policies stay distinguishable in one snapshot. A nil collector is a
+// no-op: the cache keeps its own Stats either way.
+func (c *Cache) SetTelemetry(t *telemetry.Collector) {
+	if t == nil {
+		return
+	}
+	p := c.policy.String()
+	c.telHits = t.Counter("cache." + p + ".hits")
+	c.telMisses = t.Counter("cache." + p + ".misses")
+	c.telEvictions = t.Counter("cache." + p + ".evictions")
+	c.telRejected = t.Counter("cache." + p + ".rejected")
 }
 
 // Budget returns the byte budget.
@@ -130,9 +153,11 @@ func (c *Cache) Get(term uint32) (*invfile.Entry, bool) {
 	it, ok := c.items[term]
 	if !ok {
 		c.stats.Misses++
+		c.telMisses.Add(1)
 		return nil, false
 	}
 	c.stats.Hits++
+	c.telHits.Add(1)
 	if c.policy == LRU {
 		c.clock++
 		it.key = c.clock
@@ -152,6 +177,7 @@ func (c *Cache) Put(term uint32, entry *invfile.Entry, size int64) []uint32 {
 	}
 	if size > c.budget {
 		c.stats.Rejected++
+		c.telRejected.Add(1)
 		return nil
 	}
 	var evicted []uint32
@@ -159,6 +185,7 @@ func (c *Cache) Put(term uint32, entry *invfile.Entry, size int64) []uint32 {
 		victim := c.heap.items[0]
 		c.removeItem(victim)
 		c.stats.Evictions++
+		c.telEvictions.Add(1)
 		evicted = append(evicted, victim.term)
 	}
 	it := &item{term: term, entry: entry, size: size}

@@ -21,6 +21,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"textjoin/internal/telemetry"
 )
 
 // DefaultPageSize is the page size used throughout the paper (4 KB).
@@ -100,6 +103,13 @@ type Disk struct {
 	sharedHead bool
 	lastFile   *File
 	faults     *faultState
+
+	// tel, when set, receives per-file read/write counters, record-fetch
+	// size and latency histograms, and fault events. nil disables all
+	// instrumentation (the default): the per-read cost is one nil check.
+	tel          *telemetry.Collector
+	telReadPages *telemetry.Histogram
+	telReadNanos *telemetry.Histogram
 }
 
 // Option configures a Disk.
@@ -156,6 +166,33 @@ func (d *Disk) SetAlpha(alpha float64) {
 	d.alpha = alpha
 }
 
+// SetCollector attaches a telemetry collector to the disk: every file
+// (present and future) gets per-file sequential/random read and write
+// counters ("io.file.<name>.seq" etc.), record fetches feed size and
+// latency histograms, and injected faults record "io" events. Passing
+// nil detaches instrumentation.
+func (d *Disk) SetCollector(c *telemetry.Collector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tel = c
+	if c != nil {
+		d.telReadPages = c.Histogram("io.readat.pages", telemetry.DefaultSizeBuckets)
+		d.telReadNanos = c.Histogram("io.readat.ns", telemetry.DefaultLatencyBuckets)
+	} else {
+		d.telReadPages, d.telReadNanos = nil, nil
+	}
+	for _, f := range d.files {
+		f.attachTelemetryLocked()
+	}
+}
+
+// readHists returns the record-fetch histograms under the disk lock.
+func (d *Disk) readHists() (pages, nanos *telemetry.Histogram) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.telReadPages, d.telReadNanos
+}
+
 // Create creates a new empty file.
 func (d *Disk) Create(name string) (*File, error) {
 	d.mu.Lock()
@@ -167,6 +204,7 @@ func (d *Disk) Create(name string) (*File, error) {
 		return nil, fmt.Errorf("%w: %q", ErrFileExists, name)
 	}
 	f := &File{disk: d, name: name, head: -1}
+	f.attachTelemetryLocked()
 	d.files[name] = f
 	return f, nil
 }
@@ -247,6 +285,25 @@ type File struct {
 	pages [][]byte
 	head  int64 // page index of the last page read; -1 = parked
 	stats Stats
+
+	// Telemetry counters, resolved once per file when a collector is
+	// attached; nil (no-op) otherwise.
+	telSeq    *telemetry.Counter
+	telRand   *telemetry.Counter
+	telWrites *telemetry.Counter
+}
+
+// attachTelemetryLocked resolves the file's counters against the disk's
+// collector. Called with the disk lock held.
+func (f *File) attachTelemetryLocked() {
+	c := f.disk.tel
+	if c == nil {
+		f.telSeq, f.telRand, f.telWrites = nil, nil, nil
+		return
+	}
+	f.telSeq = c.Counter("io.file." + f.name + ".seq")
+	f.telRand = c.Counter("io.file." + f.name + ".rand")
+	f.telWrites = c.Counter("io.file." + f.name + ".writes")
 }
 
 // Name returns the file name.
@@ -301,6 +358,7 @@ func (f *File) AppendPage(data []byte) (int64, error) {
 	f.pages = append(f.pages, page)
 	f.stats.Writes++
 	f.disk.stats.Writes++
+	f.telWrites.Add(1)
 	return int64(len(f.pages) - 1), nil
 }
 
@@ -326,6 +384,7 @@ func (f *File) WritePage(idx int64, data []byte) error {
 	}
 	f.stats.Writes++
 	f.disk.stats.Writes++
+	f.telWrites.Add(1)
 	return nil
 }
 
@@ -352,9 +411,11 @@ func (f *File) readPageLocked(idx int64) ([]byte, error) {
 	if sequential {
 		f.stats.SeqReads++
 		f.disk.stats.SeqReads++
+		f.telSeq.Add(1)
 	} else {
 		f.stats.RandReads++
 		f.disk.stats.RandReads++
+		f.telRand.Add(1)
 	}
 	f.head = idx
 	f.disk.lastFile = f
@@ -386,6 +447,17 @@ func (f *File) ReadAt(off, length int64) ([]byte, error) {
 	if length < 0 || off < 0 {
 		return nil, fmt.Errorf("iosim: negative offset or length (off=%d len=%d)", off, length)
 	}
+	if hPages, hNanos := f.disk.readHists(); hPages != nil {
+		start := time.Now()
+		out, err := f.readAt(off, length)
+		hNanos.Observe(time.Since(start).Nanoseconds())
+		hPages.Observe(SpannedPages(off, length, f.disk.pageSize))
+		return out, err
+	}
+	return f.readAt(off, length)
+}
+
+func (f *File) readAt(off, length int64) ([]byte, error) {
 	out := make([]byte, 0, length)
 	ps := int64(f.disk.pageSize)
 	for remaining := length; remaining > 0; {

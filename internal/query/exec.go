@@ -12,6 +12,7 @@ import (
 	"textjoin/internal/document"
 	"textjoin/internal/invfile"
 	"textjoin/internal/relation"
+	"textjoin/internal/telemetry"
 )
 
 // TextBinding attaches the storage structures of a textual attribute: the
@@ -103,6 +104,9 @@ type Options struct {
 	// The ResultSet carries the plan (Algorithm, Estimates, Plan) and no
 	// rows.
 	ExplainOnly bool
+	// Telemetry, when non-nil, collects per-phase spans and counters
+	// from the join the query executes.
+	Telemetry *telemetry.Collector
 }
 
 // ResultSet is a query's output plus the planner's explanation.
@@ -310,6 +314,7 @@ func (e *Engine) Execute(q *Query, opts Options) (*ResultSet, error) {
 		Lambda:      sp.Lambda,
 		MemoryPages: opts.MemoryPages,
 		Weighting:   opts.Weighting,
+		Telemetry:   opts.Telemetry,
 	}
 	rs := &ResultSet{}
 	if opts.ExplainOnly {

@@ -1,0 +1,423 @@
+// Package telemetry is the execution instrumentation layer of the join
+// system: atomic counters, bucketed histograms, and a bounded in-memory
+// trace of phase-labelled spans and events, exported through a Sink.
+//
+// The paper's whole argument is built on counting — page reads, cache
+// hits, pass counts — and this package makes those counts observable
+// while a join runs instead of only in the coarse Stats struct after the
+// fact. Every layer that does work reports here: iosim classifies page
+// reads per file, the entry cache reports hits and evictions by policy,
+// the joins mark their phases (scan, probe, score, flush, merge,
+// finalize), and the integrated planner records its estimated cost next
+// to the measured one.
+//
+// The package is zero-dependency and near-zero-overhead when disabled:
+// a nil *Collector disables everything. All Collector, Counter,
+// Histogram and Span methods are nil-safe no-ops, so instrumented code
+// holds plain fields and calls them unconditionally — the disabled path
+// is a predictable nil check, performs no allocation, and reads no
+// clock. Instrumented hot loops resolve their counters once, outside the
+// loop, so the per-operation cost is one atomic add when enabled and one
+// branch when not.
+//
+// Collectors are safe for concurrent use: counters and histogram buckets
+// are atomics, the trace ring takes a short mutex, and Snapshot can run
+// while writers are active (the differential harness pins that results
+// are identical with collection running concurrently).
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase labels used by the join system. The taxonomy is shared across
+// algorithms so traces from different joins line up:
+//
+//	setup    — one-time structure loading (B+tree, index preload decision)
+//	scan     — sequential sweeps of stored structures
+//	probe    — per-outer-document index probing (HVNL)
+//	score    — similarity computation over resident documents (HHNL)
+//	flush    — per-document/per-pass accumulator drain into top-λ
+//	merge    — merge-scan of inverted files (VVM) or per-worker merges
+//	finalize — result emission
+//	plan     — the integrated planner's estimated and measured costs
+//	io       — storage-level events (fault injections)
+const (
+	PhaseSetup    = "setup"
+	PhaseScan     = "scan"
+	PhaseProbe    = "probe"
+	PhaseScore    = "score"
+	PhaseFlush    = "flush"
+	PhaseMerge    = "merge"
+	PhaseFinalize = "finalize"
+	PhasePlan     = "plan"
+	PhaseIO       = "io"
+)
+
+// DefaultTraceCap bounds the trace ring when WithTraceCap is not given.
+const DefaultTraceCap = 1024
+
+// Collector gathers counters, histograms and trace entries. The zero
+// value is not usable; create with New. A nil *Collector is the disabled
+// collector: every method is a cheap no-op.
+type Collector struct {
+	now   func() time.Time
+	epoch time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+
+	traceMu  sync.Mutex
+	trace    []Entry
+	traceCap int
+	seq      uint64
+}
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithTraceCap sets the trace ring capacity; older entries are
+// overwritten once the ring is full. n must be positive.
+func WithTraceCap(n int) Option {
+	return func(c *Collector) {
+		if n > 0 {
+			c.traceCap = n
+		}
+	}
+}
+
+// WithClock substitutes the time source, letting tests produce
+// deterministic span timings.
+func WithClock(now func() time.Time) Option {
+	return func(c *Collector) { c.now = now }
+}
+
+// New creates an enabled collector.
+func New(opts ...Option) *Collector {
+	c := &Collector{
+		now:      time.Now,
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		traceCap: DefaultTraceCap,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.epoch = c.now()
+	return c
+}
+
+// Enabled reports whether the collector records anything.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Counter returns the named counter, creating it on first use. A nil
+// collector returns a nil counter, whose methods are no-ops — resolve
+// counters once and call Add unconditionally.
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ct, ok := c.counters[name]; ok {
+		return ct
+	}
+	ct := &Counter{name: name}
+	c.counters[name] = ct
+	return ct
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (ascending) on first use; later calls return the
+// existing histogram regardless of bounds. A nil collector returns a nil
+// histogram.
+func (c *Collector) Histogram(name string, bounds []int64) *Histogram {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.hists[name]; ok {
+		return h
+	}
+	h := newHistogram(name, bounds)
+	c.hists[name] = h
+	return h
+}
+
+// Counter is a named atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add accumulates n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count, 0 on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a named bucketed histogram over int64 observations
+// (latencies in nanoseconds, sizes in bytes or pages). Buckets are
+// defined by ascending inclusive upper bounds; one implicit overflow
+// bucket catches everything above the last bound.
+type Histogram struct {
+	name   string
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+func newHistogram(name string, bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{name: name, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations, 0 on a nil histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// ExpBuckets returns n ascending bucket bounds starting at start and
+// multiplying by factor: the standard shape for latency and size
+// histograms.
+func ExpBuckets(start, factor int64, n int) []int64 {
+	if start <= 0 || factor < 2 || n <= 0 {
+		panic("telemetry: ExpBuckets needs start > 0, factor >= 2, n > 0")
+	}
+	out := make([]int64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Default bucket shapes shared by the instrumented layers.
+var (
+	// DefaultLatencyBuckets spans 1µs .. ~4.3s in powers of 4 (ns).
+	DefaultLatencyBuckets = ExpBuckets(1000, 4, 12)
+	// DefaultSizeBuckets spans 1 .. 32768 in powers of 2 (pages, cells,
+	// entries — any small cardinality).
+	DefaultSizeBuckets = ExpBuckets(1, 2, 16)
+)
+
+// Entry is one trace-ring record: a finished span or a point event.
+type Entry struct {
+	// Seq is the global record order; Snapshot returns entries in Seq
+	// order with gaps only where the ring overwrote older entries.
+	Seq uint64 `json:"seq"`
+	// Kind is "span" or "event".
+	Kind string `json:"kind"`
+	// Phase is one of the Phase* labels.
+	Phase string `json:"phase"`
+	// Name identifies the specific operation, e.g. "hvnl.preload".
+	Name string `json:"name"`
+	// StartNanos is the offset from the collector's creation.
+	StartNanos int64 `json:"start_ns"`
+	// DurNanos is the span duration (spans only).
+	DurNanos int64 `json:"dur_ns,omitempty"`
+	// Value carries an event's payload (events only).
+	Value int64 `json:"value,omitempty"`
+}
+
+// KindSpan and KindEvent are the two Entry kinds.
+const (
+	KindSpan  = "span"
+	KindEvent = "event"
+)
+
+// Span is an in-flight phase measurement. The zero Span (from a nil
+// collector) is a no-op.
+type Span struct {
+	c     *Collector
+	phase string
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a span in the given phase. On a nil collector no
+// clock is read and the returned Span does nothing.
+func (c *Collector) StartSpan(phase, name string) Span {
+	if c == nil {
+		return Span{}
+	}
+	return Span{c: c, phase: phase, name: name, start: c.now()}
+}
+
+// End finishes the span: one trace entry plus an observation in the
+// phase's duration histogram ("phase.<phase>.ns").
+func (s Span) End() {
+	if s.c == nil {
+		return
+	}
+	dur := s.c.now().Sub(s.start)
+	s.c.record(Entry{
+		Kind:       KindSpan,
+		Phase:      s.phase,
+		Name:       s.name,
+		StartNanos: s.start.Sub(s.c.epoch).Nanoseconds(),
+		DurNanos:   dur.Nanoseconds(),
+	})
+	s.c.Histogram("phase."+s.phase+".ns", DefaultLatencyBuckets).Observe(dur.Nanoseconds())
+}
+
+// Event records a point event with a value in the trace ring. No-op on a
+// nil collector.
+func (c *Collector) Event(phase, name string, value int64) {
+	if c == nil {
+		return
+	}
+	c.record(Entry{
+		Kind:       KindEvent,
+		Phase:      phase,
+		Name:       name,
+		StartNanos: c.now().Sub(c.epoch).Nanoseconds(),
+		Value:      value,
+	})
+}
+
+// record appends e to the bounded ring, overwriting the oldest entry
+// when full.
+func (c *Collector) record(e Entry) {
+	c.traceMu.Lock()
+	e.Seq = c.seq
+	if len(c.trace) < c.traceCap {
+		c.trace = append(c.trace, e)
+	} else {
+		c.trace[c.seq%uint64(c.traceCap)] = e
+	}
+	c.seq++
+	c.traceMu.Unlock()
+}
+
+// CounterValue is one counter in a Snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Bucket is one histogram bucket in a Snapshot: the count of
+// observations v with previousBound < v <= Le. The overflow bucket has
+// Le == math.MaxInt64 and renders as "+Inf".
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramValue is one histogram in a Snapshot. Bucket counts are
+// per-bucket (not cumulative) and sum to Count.
+type HistogramValue struct {
+	Name    string   `json:"name"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of everything the collector holds,
+// ready for a Sink. Counters and histograms are sorted by name; trace
+// entries are in Seq order, oldest surviving entry first.
+type Snapshot struct {
+	Counters     []CounterValue   `json:"counters"`
+	Histograms   []HistogramValue `json:"histograms"`
+	Trace        []Entry          `json:"trace"`
+	TraceDropped uint64           `json:"trace_dropped"`
+}
+
+const maxInt64 = int64(^uint64(0) >> 1)
+
+// Snapshot copies the current state. Safe to call while writers are
+// active; counter and bucket reads are individually atomic (the snapshot
+// is a consistent-enough view for reporting, not a serializable
+// transaction). A nil collector returns an empty snapshot.
+func (c *Collector) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if c == nil {
+		return s
+	}
+	c.mu.Lock()
+	counters := make([]*Counter, 0, len(c.counters))
+	for _, ct := range c.counters {
+		counters = append(counters, ct)
+	}
+	hists := make([]*Histogram, 0, len(c.hists))
+	for _, h := range c.hists {
+		hists = append(hists, h)
+	}
+	c.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	for _, ct := range counters {
+		s.Counters = append(s.Counters, CounterValue{Name: ct.name, Value: ct.v.Load()})
+	}
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	for _, h := range hists {
+		hv := HistogramValue{Name: h.name, Count: h.n.Load(), Sum: h.sum.Load()}
+		var inBuckets int64
+		for i := range h.counts {
+			le := maxInt64
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			n := h.counts[i].Load()
+			inBuckets += n
+			hv.Buckets = append(hv.Buckets, Bucket{Le: le, Count: n})
+		}
+		// Writers update count and buckets non-transactionally; pin the
+		// exported invariant (bucket counts sum to Count) to what the
+		// buckets actually held at read time.
+		hv.Count = inBuckets
+		s.Histograms = append(s.Histograms, hv)
+	}
+
+	c.traceMu.Lock()
+	if c.seq > uint64(len(c.trace)) {
+		s.TraceDropped = c.seq - uint64(len(c.trace))
+	}
+	start := c.seq % uint64(c.traceCap)
+	for i := range c.trace {
+		var e Entry
+		if len(c.trace) < c.traceCap {
+			e = c.trace[i]
+		} else {
+			e = c.trace[(start+uint64(i))%uint64(c.traceCap)]
+		}
+		s.Trace = append(s.Trace, e)
+	}
+	c.traceMu.Unlock()
+	return s
+}

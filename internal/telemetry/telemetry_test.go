@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic clock that advances by step on every
+// reading, starting at the Unix epoch.
+func fakeClock(step time.Duration) func() time.Time {
+	base := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * step)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	c := New()
+	h := c.Histogram("b", []int64{10, 100, 1000})
+	// Bounds are inclusive upper bounds: v lands in the first bucket with
+	// v <= le. Exercise every edge, both sides.
+	for _, v := range []int64{-5, 0, 10} {
+		h.Observe(v) // bucket 0 (le 10)
+	}
+	for _, v := range []int64{11, 100} {
+		h.Observe(v) // bucket 1 (le 100)
+	}
+	for _, v := range []int64{101, 1000} {
+		h.Observe(v) // bucket 2 (le 1000)
+	}
+	for _, v := range []int64{1001, maxInt64} {
+		h.Observe(v) // overflow bucket (le +Inf)
+	}
+	s := c.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(s.Histograms))
+	}
+	hv := s.Histograms[0]
+	wantCounts := []int64{3, 2, 2, 2}
+	wantLe := []int64{10, 100, 1000, maxInt64}
+	if len(hv.Buckets) != len(wantCounts) {
+		t.Fatalf("buckets = %d, want %d", len(hv.Buckets), len(wantCounts))
+	}
+	for i, b := range hv.Buckets {
+		if b.Le != wantLe[i] || b.Count != wantCounts[i] {
+			t.Errorf("bucket %d = {le %d, count %d}, want {le %d, count %d}",
+				i, b.Le, b.Count, wantLe[i], wantCounts[i])
+		}
+	}
+	if hv.Count != 9 {
+		t.Errorf("count = %d, want 9", hv.Count)
+	}
+	if h.Count() != 9 {
+		t.Errorf("Count() = %d, want 9", h.Count())
+	}
+}
+
+func TestHistogramBoundsSortedAndReused(t *testing.T) {
+	c := New()
+	h1 := c.Histogram("h", []int64{100, 1, 10}) // unsorted input is sorted
+	h1.Observe(5)
+	s := c.Snapshot()
+	got := s.Histograms[0].Buckets
+	if got[0].Le != 1 || got[1].Le != 10 || got[2].Le != 100 {
+		t.Errorf("bounds not sorted: %+v", got)
+	}
+	if got[1].Count != 1 {
+		t.Errorf("5 landed in the wrong bucket: %+v", got)
+	}
+	// A second resolve with different bounds returns the existing histogram.
+	h2 := c.Histogram("h", []int64{7})
+	if h1 != h2 {
+		t.Error("re-resolving a histogram by name created a new one")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []int64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets(1,2,5) = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range [][3]int64{{0, 2, 3}, {1, 1, 3}, {1, 2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpBuckets(%v) did not panic", bad)
+				}
+			}()
+			ExpBuckets(bad[0], bad[1], int(bad[2]))
+		}()
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := New()
+	const goroutines, adds = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolve inside the goroutine so the map path races too.
+			ct := c.Counter("shared")
+			h := c.Histogram("shared.h", DefaultSizeBuckets)
+			for i := 0; i < adds; i++ {
+				ct.Add(1)
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := c.Counter("shared").Value(); v != goroutines*adds {
+		t.Errorf("counter = %d, want %d", v, goroutines*adds)
+	}
+	if n := c.Histogram("shared.h", nil).Count(); n != goroutines*adds {
+		t.Errorf("histogram count = %d, want %d", n, goroutines*adds)
+	}
+}
+
+func TestTraceRingBounded(t *testing.T) {
+	const cap = 8
+	c := New(WithTraceCap(cap), WithClock(fakeClock(time.Microsecond)))
+	for i := 0; i < 3*cap; i++ {
+		c.Event(PhaseIO, fmt.Sprintf("e%d", i), int64(i))
+	}
+	s := c.Snapshot()
+	if len(s.Trace) != cap {
+		t.Fatalf("trace len = %d, want %d", len(s.Trace), cap)
+	}
+	if s.TraceDropped != 2*cap {
+		t.Errorf("dropped = %d, want %d", s.TraceDropped, 2*cap)
+	}
+	// Oldest surviving entry first, strictly ascending.
+	for i, e := range s.Trace {
+		if want := uint64(2*cap + i); e.Seq != want {
+			t.Errorf("trace[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestTraceUnderCap(t *testing.T) {
+	c := New(WithTraceCap(16))
+	c.Event(PhasePlan, "only", 1)
+	s := c.Snapshot()
+	if len(s.Trace) != 1 || s.TraceDropped != 0 {
+		t.Fatalf("trace = %d entries dropped %d, want 1 and 0", len(s.Trace), s.TraceDropped)
+	}
+	if s.Trace[0].Kind != KindEvent || s.Trace[0].Name != "only" || s.Trace[0].Value != 1 {
+		t.Errorf("entry = %+v", s.Trace[0])
+	}
+}
+
+func TestSpanRecordsDuration(t *testing.T) {
+	// The fake clock advances 1ms per reading: epoch at t=1ms, span start
+	// at t=2ms, span end at t=3ms → StartNanos 1ms, DurNanos 1ms.
+	c := New(WithClock(fakeClock(time.Millisecond)))
+	sp := c.StartSpan(PhaseScan, "sweep")
+	sp.End()
+	s := c.Snapshot()
+	if len(s.Trace) != 1 {
+		t.Fatalf("trace len = %d, want 1", len(s.Trace))
+	}
+	e := s.Trace[0]
+	if e.Kind != KindSpan || e.Phase != PhaseScan || e.Name != "sweep" {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.StartNanos != int64(time.Millisecond) || e.DurNanos != int64(time.Millisecond) {
+		t.Errorf("start=%d dur=%d, want both %d", e.StartNanos, e.DurNanos, int64(time.Millisecond))
+	}
+	// End also feeds the per-phase duration histogram.
+	if n := c.Histogram("phase.scan.ns", nil).Count(); n != 1 {
+		t.Errorf("phase histogram count = %d, want 1", n)
+	}
+}
+
+func TestNilCollectorIsDisabled(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Error("nil collector reports enabled")
+	}
+	// None of these may panic.
+	c.Counter("x").Add(3)
+	if v := c.Counter("x").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	c.Histogram("h", DefaultSizeBuckets).Observe(5)
+	if n := c.Histogram("h", nil).Count(); n != 0 {
+		t.Errorf("nil histogram count = %d", n)
+	}
+	c.StartSpan(PhaseScan, "s").End()
+	Span{}.End()
+	c.Event(PhaseIO, "e", 1)
+	s := c.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 || len(s.Trace) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", s)
+	}
+}
+
+// The disabled path must not allocate: instrumented code holds nil
+// collectors in the common case and every primitive must stay a branch.
+func TestDisabledPathDoesNotAllocate(t *testing.T) {
+	var c *Collector
+	ct := c.Counter("x")
+	h := c.Histogram("h", DefaultSizeBuckets)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter-add", func() { ct.Add(1) }},
+		{"histogram-observe", func() { h.Observe(7) }},
+		{"span", func() { c.StartSpan(PhaseScan, "s").End() }},
+		{"event", func() { c.Event(PhaseIO, "e", 1) }},
+		{"resolve-counter", func() { c.Counter("x") }},
+		{"resolve-histogram", func() { c.Histogram("h", nil) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs on the disabled path, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		c.Counter(n).Add(1)
+		c.Histogram("h."+n, []int64{1}).Observe(1)
+	}
+	s := c.Snapshot()
+	for i := 1; i < len(s.Counters); i++ {
+		if s.Counters[i-1].Name >= s.Counters[i].Name {
+			t.Errorf("counters not sorted: %q before %q", s.Counters[i-1].Name, s.Counters[i].Name)
+		}
+	}
+	for i := 1; i < len(s.Histograms); i++ {
+		if s.Histograms[i-1].Name >= s.Histograms[i].Name {
+			t.Errorf("histograms not sorted: %q before %q", s.Histograms[i-1].Name, s.Histograms[i].Name)
+		}
+	}
+}
+
+// Snapshot must be callable while writers are active without tripping the
+// race detector or producing an inconsistent bucket/count pair.
+func TestSnapshotDuringWrites(t *testing.T) {
+	c := New(WithTraceCap(32))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ct := c.Counter("w")
+		h := c.Histogram("wh", DefaultSizeBuckets)
+		i := int64(0)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				ct.Add(1)
+				h.Observe(i % 64)
+				c.Event(PhaseIO, "tick", i)
+				i++
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		s := c.Snapshot()
+		for _, hv := range s.Histograms {
+			var sum int64
+			for _, b := range hv.Buckets {
+				sum += b.Count
+			}
+			if sum != hv.Count {
+				t.Fatalf("histogram %s: buckets sum to %d, count %d", hv.Name, sum, hv.Count)
+			}
+		}
+		for j := 1; j < len(s.Trace); j++ {
+			if s.Trace[j].Seq <= s.Trace[j-1].Seq {
+				t.Fatalf("trace seq not ascending at %d", j)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+}

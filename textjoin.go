@@ -51,6 +51,7 @@ import (
 	"textjoin/internal/relation"
 	"textjoin/internal/simulate"
 	"textjoin/internal/stats"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/termmap"
 	"textjoin/internal/tokenize"
 )
@@ -184,6 +185,29 @@ type (
 	Tokenizer = tokenize.Tokenizer
 )
 
+// Telemetry layer.
+type (
+	// Telemetry is the execution instrumentation collector: per-phase
+	// spans, I/O and cache counters, histograms, a bounded trace ring.
+	// A nil *Telemetry disables collection everywhere it is passed.
+	Telemetry = telemetry.Collector
+	// TelemetryOption configures a collector (trace capacity, clock).
+	TelemetryOption = telemetry.Option
+	// TelemetrySnapshot is a point-in-time copy of a collector's state.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetrySink renders a snapshot as text or JSON.
+	TelemetrySink = telemetry.Sink
+)
+
+// NewTelemetry creates an enabled collector. Attach it to a join via
+// Options.Telemetry (or QueryOptions.Telemetry) and to the storage layer
+// via Workspace.SetTelemetry; read it back with its Snapshot method and
+// a TelemetrySink.
+func NewTelemetry(opts ...TelemetryOption) *Telemetry { return telemetry.New(opts...) }
+
+// TelemetrySinkFor maps "text" or "json" to a sink.
+func TelemetrySinkFor(mode string) (TelemetrySink, error) { return telemetry.SinkFor(mode) }
+
 // NewLocalMapping builds the memory-resident local → standard term-number
 // mapping for an autonomous IR system from its vocabulary.
 func NewLocalMapping(system string, dict *Dictionary, localVocab map[uint32]string) (*LocalMapping, error) {
@@ -228,6 +252,11 @@ func (w *Workspace) Disk() *Disk { return w.disk }
 // ResetIOStats zeroes the disk's I/O counters, typically after the build
 // phase so only join-time I/O is measured.
 func (w *Workspace) ResetIOStats() { w.disk.ResetStats() }
+
+// SetTelemetry attaches a collector to the workspace disk so per-file
+// sequential/random read counters and page/latency histograms are
+// recorded; nil detaches.
+func (w *Workspace) SetTelemetry(t *Telemetry) { w.disk.SetCollector(t) }
 
 // NewCollection stores documents (ids must be dense from 0) as a
 // collection on the workspace disk.
