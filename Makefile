@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-smoke race trace-smoke
+.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,16 @@ test: build
 # verify is the CI gate for the concurrent join paths: vet everything,
 # then race-check the packages with goroutines (owner-sharded parallel
 # VVM and HVNL, parallel HHNL), the accumulator layer they share, the
-# entry cache the parallel HVNL coordinator drives, and the telemetry
-# collector they all report to. The core run includes the differential
-# harness (telemetry on/off invariance, concurrent snapshots).
-verify:
+# entry cache the parallel HVNL coordinator drives, the telemetry
+# collector they all report to, and the observability server that
+# scrapes it during in-flight joins. The core run includes the
+# differential harness (telemetry on/off invariance, concurrent
+# snapshots). It finishes with the two observability smokes: the
+# self-driving textjoind endpoint check and the baseline-checked
+# benchmark grid.
+verify: obs-smoke bench-json
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/... ./internal/telemetry/...
+	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/... ./internal/telemetry/... ./internal/metrics/... ./cmd/textjoind/...
 
 race:
 	$(GO) test -race ./...
@@ -36,3 +40,18 @@ bench-smoke:
 # only the snapshot into the checker.
 trace-smoke:
 	$(GO) run ./cmd/textjoin -p1 wsj -p2 wsj -scale 8192 -alg auto -lambda 5 -mem 200 -show 0 -telemetry json 2>&1 1>/dev/null | $(GO) run ./cmd/tracecheck
+
+# obs-smoke boots textjoind on an ephemeral loopback port, drives every
+# endpoint (/healthz, /join serial and parallel, /metrics twice so rate
+# gauges appear, /traces, /debug/pprof/), validates the exposition with
+# the strict parser and the trace stream with the tracecheck schema, and
+# shuts down cleanly — all in-process, no curl needed.
+obs-smoke:
+	$(GO) run ./cmd/textjoind -smoke
+
+# bench-json runs the benchmark observatory grid (shapes × algorithms ×
+# worker counts over the deterministic simulated store), writes the
+# machine-readable report and the cost-model calibration audit, and
+# fails if any cell regressed against the checked-in baseline.
+bench-json:
+	$(GO) run ./cmd/benchreport -q -json BENCH_PR4.json -baseline BENCH_BASELINE.json -calibrate -calreport CALIBRATION_PR4.md

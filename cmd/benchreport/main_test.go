@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps test grids fast: heavily scaled collections.
+func tinyConfig() BenchConfig {
+	cfg := defaultBenchConfig()
+	cfg.Scale = 2048
+	cfg.MemoryPages = 1000
+	return cfg
+}
+
+// TestGridDeterminism is the property the checked-in baseline relies on:
+// two runs with the same config produce byte-identical JSON.
+func TestGridDeterminism(t *testing.T) {
+	r1, err := runGrid(tinyConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := runGrid(tinyConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Errorf("reports differ across runs:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	cfg := tinyConfig()
+	report, err := runGrid(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(shapes()) * 3 * len(cfg.Workers)
+	if len(report.Cells) != wantCells {
+		t.Errorf("got %d cells, want %d", len(report.Cells), wantCells)
+	}
+	if len(report.Integrated) != len(shapes()) {
+		t.Errorf("got %d integrated cells, want %d", len(report.Integrated), len(shapes()))
+	}
+
+	// Parallel workers must reproduce the serial results and I/O exactly.
+	serial := map[string]Cell{}
+	for _, c := range report.Cells {
+		if c.Workers == 1 {
+			serial[c.Shape+"/"+c.Algorithm] = c
+		}
+	}
+	for _, c := range report.Cells {
+		s := serial[c.Shape+"/"+c.Algorithm]
+		if c.ResultsHash != s.ResultsHash {
+			t.Errorf("%s: parallel results diverge from serial", c.key())
+		}
+		if c.SeqReads != s.SeqReads || c.RandReads != s.RandReads {
+			t.Errorf("%s: parallel I/O (%d,%d) differs from serial (%d,%d)",
+				c.key(), c.SeqReads, c.RandReads, s.SeqReads, s.RandReads)
+		}
+	}
+
+	// Calibration: one sample per (shape, algorithm), and the planner
+	// replay extracted at least one sample per shape.
+	if n := len(report.Calibration.Samples); n != len(shapes())*3 {
+		t.Errorf("got %d calibration samples, want %d", n, len(shapes())*3)
+	}
+	if n := len(report.Calibration.PlannerSamples); n != len(shapes()) {
+		t.Errorf("got %d planner samples, want %d", n, len(shapes()))
+	}
+	for _, ic := range report.Integrated {
+		if len(ic.Estimates) != 3 {
+			t.Errorf("%s: %d estimates", ic.Shape, len(ic.Estimates))
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cur, err := runGrid(tinyConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs := compare(cur, cur, 0); len(msgs) != 0 {
+		t.Errorf("self-comparison found regressions: %v", msgs)
+	}
+
+	// Perturb one cell: exact comparison flags it, a loose tolerance
+	// accepts it, a hash flip always fails.
+	base, _ := runGrid(tinyConfig(), false)
+	base.Cells[0].Cost += 1
+	base.Cells[1].Cost *= 1.001
+	msgs := compare(cur, base, 0)
+	if len(msgs) != 2 {
+		t.Errorf("exact comparison found %d regressions, want 2: %v", len(msgs), msgs)
+	}
+	if msgs := compare(cur, base, 0.5); len(msgs) != 0 {
+		t.Errorf("tolerant comparison still failed: %v", msgs)
+	}
+	base.Cells[2].ResultsHash = "feedfacefeedface"
+	if msgs := compare(cur, base, 0.5); len(msgs) != 1 {
+		t.Errorf("hash flip: %d regressions, want 1: %v", len(msgs), msgs)
+	}
+
+	// A baseline cell missing from the current report is a regression.
+	extra := &Report{Cells: append([]Cell{}, base.Cells...)}
+	extra.Cells = append(extra.Cells, Cell{Shape: "zz", Algorithm: "HHNL", Workers: 1})
+	if msgs := compare(cur, extra, 0.5); len(msgs) < 2 {
+		t.Errorf("missing cell not flagged: %v", msgs)
+	}
+}
+
+func TestCalibrationReportText(t *testing.T) {
+	report, err := runGrid(tinyConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := report.Calibration.writeReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Cost-model calibration report", "## HHNL", "## HVNL", "## VVM", "mispicks"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("calibration report lacks %q", want)
+		}
+	}
+
+	var none *CalibrationReport
+	if err := none.writeReport(&sb); err == nil {
+		t.Error("nil calibration section should error")
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	if w, err := parseWorkers("1, 2,8"); err != nil || len(w) != 3 || w[2] != 8 {
+		t.Errorf("parseWorkers: %v %v", w, err)
+	}
+	for _, bad := range []string{"", "0", "x", "1,,2"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHumanReport(t *testing.T) {
+	report, err := runGrid(tinyConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	writeHuman(&sb, report)
+	for _, want := range []string{"wsj-wsj", "doe-doe", "integrated chose"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("human report lacks %q:\n%s", want, sb.String())
+		}
+	}
+}

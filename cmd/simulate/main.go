@@ -19,6 +19,7 @@ import (
 
 	"textjoin/internal/corpus"
 	"textjoin/internal/costmodel"
+	"textjoin/internal/metrics"
 	"textjoin/internal/simulate"
 	"textjoin/internal/telemetry"
 )
@@ -29,15 +30,16 @@ func main() {
 	mem := flag.Int64("mem", 200, "memory budget B in pages for -group measured")
 	seed := flag.Int64("seed", 1, "corpus seed for -group measured")
 	telemetryMode := flag.String("telemetry", "", "emit a telemetry snapshot to stderr after -group measured: text or json")
+	promPath := flag.String("prom", "", "after -group measured, write the collector as a Prometheus text exposition to this file")
 	flag.Parse()
 
-	if err := run(*group, *scale, *mem, *seed, *telemetryMode); err != nil {
+	if err := run(*group, *scale, *mem, *seed, *telemetryMode, *promPath); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(group string, scale, mem, seed int64, telemetryMode string) error {
+func run(group string, scale, mem, seed int64, telemetryMode, promPath string) error {
 	printTables := func(tables []*simulate.Table) {
 		for _, t := range tables {
 			fmt.Println(t.Format())
@@ -93,6 +95,9 @@ func run(group string, scale, mem, seed int64, telemetryMode string) error {
 			}
 			tel = telemetry.New()
 		}
+		if promPath != "" && tel == nil {
+			tel = telemetry.New()
+		}
 		for _, pair := range [][2]corpus.Profile{
 			{corpus.WSJ, corpus.WSJ},
 			{corpus.FR, corpus.FR},
@@ -105,8 +110,13 @@ func run(group string, scale, mem, seed int64, telemetryMode string) error {
 			}
 			fmt.Println(res.Format())
 		}
-		if tel != nil {
+		if sink != nil {
 			if err := sink.Export(os.Stderr, tel.Snapshot()); err != nil {
+				return err
+			}
+		}
+		if promPath != "" {
+			if err := writeProm(promPath, tel); err != nil {
 				return err
 			}
 		}
@@ -148,4 +158,18 @@ func printExtended() {
 		}
 		fmt.Println()
 	}
+}
+
+// writeProm renders the collector as a Prometheus text exposition, so a
+// measured run's counters can be pushed to any scrape-file collector.
+func writeProm(path string, tel *telemetry.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.Encode(f, tel.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -27,6 +27,7 @@ import (
 	"textjoin/internal/document"
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
+	"textjoin/internal/metrics"
 	"textjoin/internal/telemetry"
 )
 
@@ -47,7 +48,7 @@ func main() {
 	queries := flag.String("queries", "", "run a memory-resident query batch (portable text format) against C1 instead of a stored C2")
 	saveDisk := flag.String("save-disk", "", "after building, snapshot the whole simulated disk to this file")
 	telemetryMode := flag.String("telemetry", "", "emit a telemetry snapshot to stderr after the join: text or json")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); with -telemetry also /metrics and /traces")
 	flag.Parse()
 
 	var tel *telemetry.Collector
@@ -62,6 +63,12 @@ func main() {
 		tel = telemetry.New()
 	}
 	if *pprofAddr != "" {
+		// Alongside pprof, expose the live collector (when -telemetry is
+		// on) in the same formats textjoind serves.
+		if tel != nil {
+			http.Handle("/metrics", metrics.NewExporter(tel))
+			http.Handle("/traces", metrics.TraceHandler(tel))
+		}
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "textjoin: pprof:", err)

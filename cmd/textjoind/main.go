@@ -1,0 +1,62 @@
+// Command textjoind is the long-running observability service: it builds
+// a workspace once (two generated collections with their inverted
+// files), then serves joins and live telemetry over HTTP.
+//
+// Endpoints:
+//
+//	/join          run a join; query parameters alg (auto, hhnl, hvnl,
+//	               vvm), lambda, workers, weighting (raw, cosine,
+//	               tfidf), show; responds with JSON
+//	/metrics       Prometheus text exposition of the telemetry collector,
+//	               with per-second rate gauges between scrapes
+//	/traces        the trace ring as JSON Lines; ?since=<seq> tails
+//	/healthz       liveness plus workspace summary, JSON
+//	/debug/pprof/  the standard Go profiling handlers
+//
+// Usage:
+//
+//	textjoind -addr localhost:8080 -p1 wsj -p2 wsj -scale 2048
+//	textjoind -smoke        # self-drive every endpoint once and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+func main() {
+	cfg := defaultConfig()
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	smoke := flag.Bool("smoke", false, "start on a loopback port, exercise every endpoint, shut down; exit non-zero on failure")
+	flag.StringVar(&cfg.P1, "p1", cfg.P1, "inner collection profile: wsj, fr, doe")
+	flag.StringVar(&cfg.P2, "p2", cfg.P2, "outer collection profile: wsj, fr, doe")
+	flag.Int64Var(&cfg.Scale, "scale", cfg.Scale, "profile shrink divisor")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generation seed")
+	flag.Int64Var(&cfg.MemoryPages, "mem", cfg.MemoryPages, "memory budget B in pages")
+	flag.Float64Var(&cfg.Alpha, "alpha", cfg.Alpha, "random/sequential I/O cost ratio α")
+	flag.IntVar(&cfg.Lambda, "lambda", cfg.Lambda, "default λ of SIMILAR_TO(λ)")
+	flag.IntVar(&cfg.TraceCap, "trace-cap", cfg.TraceCap, "trace ring capacity in entries")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "textjoind: smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv, err := newServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "textjoind:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("textjoind: %s\n", srv.describe())
+	fmt.Printf("textjoind: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "textjoind:", err)
+		os.Exit(1)
+	}
+}

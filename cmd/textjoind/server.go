@@ -1,0 +1,289 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"textjoin"
+	"textjoin/internal/corpus"
+	"textjoin/internal/telemetry"
+)
+
+// config describes the workspace the server builds at startup.
+type config struct {
+	P1, P2      string
+	Scale       int64
+	Seed        int64
+	MemoryPages int64
+	Alpha       float64
+	Lambda      int
+	TraceCap    int
+}
+
+func defaultConfig() config {
+	return config{
+		P1:          "wsj",
+		P2:          "wsj",
+		Scale:       2048,
+		Seed:        1,
+		MemoryPages: 10000,
+		Alpha:       5,
+		Lambda:      5,
+		TraceCap:    4096,
+	}
+}
+
+// server owns the workspace, the telemetry collector and the exporter.
+// Joins are serialized (the simulated disk models one head; concurrent
+// joins would corrupt each other's sequential/random classification),
+// but /metrics, /traces and /healthz never take the join lock — scrapes
+// stay responsive while a join runs.
+type server struct {
+	cfg      config
+	ws       *textjoin.Workspace
+	c1, c2   *textjoin.Collection
+	inv1     *textjoin.InvertedFile
+	inv2     *textjoin.InvertedFile
+	tel      *textjoin.Telemetry
+	exporter *textjoin.MetricsExporter
+	start    time.Time
+
+	joinMu sync.Mutex
+	joins  atomic.Int64
+}
+
+func newServer(cfg config) (*server, error) {
+	ws := textjoin.NewWorkspace(textjoin.WithAlpha(cfg.Alpha))
+	gen := func(name, profile string, seed int64) (*textjoin.Collection, error) {
+		p, err := corpus.ProfileByName(profile)
+		if err != nil {
+			return nil, err
+		}
+		sp := p.Scaled(cfg.Scale)
+		sp.Name = name
+		return ws.GenerateCorpus(sp, seed)
+	}
+	c1, err := gen("c1", cfg.P1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c2, err := gen("c2", cfg.P2, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	inv1, err := ws.BuildInvertedFile(c1)
+	if err != nil {
+		return nil, err
+	}
+	inv2, err := ws.BuildInvertedFile(c2)
+	if err != nil {
+		return nil, err
+	}
+
+	tel := textjoin.NewTelemetry(telemetry.WithTraceCap(cfg.TraceCap))
+	ws.ResetIOStats()
+	ws.SetTelemetry(tel)
+	return &server{
+		cfg:      cfg,
+		ws:       ws,
+		c1:       c1,
+		c2:       c2,
+		inv1:     inv1,
+		inv2:     inv2,
+		tel:      tel,
+		exporter: textjoin.NewMetricsExporter(tel),
+		start:    time.Now(),
+	}, nil
+}
+
+func (s *server) describe() string {
+	st1, st2 := s.c1.Stats(), s.c2.Stats()
+	return fmt.Sprintf("C1=%s/%d (N=%d K=%.1f) C2=%s/%d (N=%d K=%.1f) mem=%d alpha=%.1f",
+		s.cfg.P1, s.cfg.Scale, st1.N, st1.K, s.cfg.P2, s.cfg.Scale, st2.N, st2.K,
+		s.cfg.MemoryPages, s.cfg.Alpha)
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/join", s.handleJoin)
+	mux.Handle("/metrics", s.exporter)
+	mux.Handle("/traces", textjoin.TraceStreamHandler(s.tel))
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st1, st2 := s.c1.Stats(), s.c2.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"joins":          s.joins.Load(),
+		"collections": []map[string]any{
+			{"name": "c1", "profile": s.cfg.P1, "docs": st1.N, "terms": st1.T, "pages": st1.D},
+			{"name": "c2", "profile": s.cfg.P2, "docs": st2.N, "terms": st2.T, "pages": st2.D},
+		},
+	})
+}
+
+// joinResponse is the /join reply.
+type joinResponse struct {
+	Algorithm   string       `json:"algorithm"`
+	Integrated  bool         `json:"integrated"`
+	Workers     int          `json:"workers"`
+	Lambda      int          `json:"lambda"`
+	OuterDocs   int64        `json:"outer_docs"`
+	InnerDocs   int64        `json:"inner_docs"`
+	Passes      int          `json:"passes"`
+	SeqReads    int64        `json:"seq_reads"`
+	RandReads   int64        `json:"rand_reads"`
+	Cost        float64      `json:"cost"`
+	WallSeconds float64      `json:"wall_seconds"`
+	Results     []joinResult `json:"results,omitempty"`
+}
+
+type joinResult struct {
+	Outer   uint32      `json:"outer"`
+	Matches []joinMatch `json:"matches"`
+}
+
+type joinMatch struct {
+	Doc uint32  `json:"doc"`
+	Sim float64 `json:"sim"`
+}
+
+// handleJoin runs one join. Parameters: alg (auto, hhnl, hvnl, vvm;
+// default auto), lambda, workers (>1 selects the parallel variant of an
+// explicit algorithm), weighting (raw, cosine, tfidf), show (result rows
+// to include, default 3).
+func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	algName := param(r, "alg", "auto")
+	lambda, err := intParam(r, "lambda", s.cfg.Lambda)
+	if err == nil && lambda <= 0 {
+		err = fmt.Errorf("lambda must be positive")
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	workers, err := intParam(r, "workers", 1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	show, err := intParam(r, "show", 3)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	weighting, err := textjoin.ParseWeighting(param(r, "weighting", "raw"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	in := textjoin.Inputs{Outer: s.c2, Inner: s.c1, InnerInv: s.inv1, OuterInv: s.inv2}
+	opts := textjoin.Options{
+		Lambda:      lambda,
+		MemoryPages: s.cfg.MemoryPages,
+		Weighting:   weighting,
+		Telemetry:   s.tel,
+	}
+
+	resp := joinResponse{Workers: workers, Lambda: lambda}
+	var results []textjoin.Result
+	var stats *textjoin.JoinStats
+
+	begin := time.Now()
+	s.joinMu.Lock()
+	if algName == "auto" {
+		results, stats, _, err = textjoin.JoinIntegrated(in, opts)
+		resp.Integrated = true
+	} else {
+		var alg textjoin.Algorithm
+		alg, err = textjoin.ParseAlgorithm(algName)
+		if err != nil {
+			s.joinMu.Unlock()
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		switch {
+		case workers > 1 && alg == textjoin.HHNL:
+			results, stats, err = textjoin.JoinHHNLParallel(in, opts, workers)
+		case workers > 1 && alg == textjoin.HVNL:
+			results, stats, err = textjoin.JoinHVNLParallel(in, opts, workers)
+		case workers > 1 && alg == textjoin.VVM:
+			results, stats, err = textjoin.JoinVVMParallel(in, opts, workers)
+		default:
+			results, stats, err = textjoin.Join(alg, in, opts)
+		}
+	}
+	s.joinMu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.joins.Add(1)
+	s.tel.Counter("query.joins").Add(1)
+
+	resp.Algorithm = stats.Algorithm.String()
+	resp.OuterDocs = stats.OuterDocs
+	resp.InnerDocs = stats.InnerDocs
+	resp.Passes = stats.Passes
+	resp.SeqReads = stats.IO.SeqReads
+	resp.RandReads = stats.IO.RandReads
+	resp.Cost = stats.Cost
+	resp.WallSeconds = time.Since(begin).Seconds()
+	for i, res := range results {
+		if i >= show {
+			break
+		}
+		jr := joinResult{Outer: res.Outer, Matches: []joinMatch{}}
+		for _, m := range res.Matches {
+			jr.Matches = append(jr.Matches, joinMatch{Doc: m.Doc, Sim: m.Sim})
+		}
+		resp.Results = append(resp.Results, jr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func param(r *http.Request, name, def string) string {
+	if v := r.URL.Query().Get(name); v != "" {
+		return v
+	}
+	return def
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %v", name, err)
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"textjoin/internal/metrics"
+	"textjoin/internal/telemetry"
+)
+
+func testServer(t *testing.T, scale int64) (*server, *httptest.Server) {
+	t.Helper()
+	cfg := defaultConfig()
+	cfg.Scale = scale
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func get(t *testing.T, hs *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := hs.Client().Get(hs.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s, hs := testServer(t, 4096)
+
+	status, body := get(t, hs, "/healthz")
+	if status != 200 {
+		t.Fatalf("healthz status %d", status)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Joins  int64  `json:"joins"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Joins != 0 {
+		t.Errorf("health = %+v", health)
+	}
+
+	status, body = get(t, hs, "/join?alg=auto&lambda=3&show=2")
+	if status != 200 {
+		t.Fatalf("join status %d: %s", status, body)
+	}
+	var j joinResponse
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Integrated || j.Lambda != 3 || j.OuterDocs == 0 || len(j.Results) > 2 {
+		t.Errorf("join response: %+v", j)
+	}
+	if s.joins.Load() != 1 {
+		t.Errorf("joins counter = %d, want 1", s.joins.Load())
+	}
+
+	status, body = get(t, hs, "/metrics")
+	if status != 200 {
+		t.Fatalf("metrics status %d", status)
+	}
+	if err := metrics.Lint(body); err != nil {
+		t.Errorf("metrics exposition rejected: %v\n%s", err, body)
+	}
+	for _, want := range []string{"textjoin_plan_chosen_total", "textjoin_iosim_file_seq_reads_total", "textjoin_scrapes_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics lack %s", want)
+		}
+	}
+
+	status, body = get(t, hs, "/traces")
+	if status != 200 {
+		t.Fatalf("traces status %d", status)
+	}
+	if err := telemetry.ValidateJSONLines(body); err != nil {
+		t.Errorf("trace stream rejected: %v", err)
+	}
+
+	for path, want := range map[string]int{
+		"/join?alg=bogus":    http.StatusBadRequest,
+		"/join?lambda=x":     http.StatusBadRequest,
+		"/join?lambda=-1":    http.StatusBadRequest,
+		"/join?weighting=no": http.StatusBadRequest,
+	} {
+		if status, _ := get(t, hs, path); status != want {
+			t.Errorf("GET %s: status %d, want %d", path, status, want)
+		}
+	}
+}
+
+// TestConcurrentScrapes is the acceptance check for the live scrape
+// path: /metrics and /traces are hammered while parallel HVNL and VVM
+// joins are in flight. Every exposition must parse and every trace
+// stream must validate; run under -race this also proves the scrape
+// path shares no unsynchronized state with the join hot path.
+func TestConcurrentScrapes(t *testing.T) {
+	_, hs := testServer(t, 2048)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	joins := []string{
+		"/join?alg=hvnl&workers=4&show=0",
+		"/join?alg=vvm&workers=4&show=0",
+		"/join?alg=hvnl&workers=2&show=0",
+		"/join?alg=auto&show=0",
+	}
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for _, path := range joins {
+			resp, err := hs.Client().Get(hs.URL + path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- &joinStatusError{path, resp.StatusCode}
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := hs.Client().Get(hs.URL + "/metrics")
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := metrics.Lint(body); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			resp, err := hs.Client().Get(hs.URL + "/traces")
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := telemetry.ValidateJSONLines(body); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type joinStatusError struct {
+	path   string
+	status int
+}
+
+func (e *joinStatusError) Error() string {
+	return "GET " + e.path + ": unexpected status " + http.StatusText(e.status)
+}
+
+func TestSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := runSmoke(defaultConfig(), &sb); err != nil {
+		t.Fatalf("smoke failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "shutdown clean") {
+		t.Errorf("smoke output lacks clean shutdown:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"textjoin/internal/metrics"
+	"textjoin/internal/telemetry"
+)
+
+// runSmoke is the self-contained health check behind `textjoind -smoke`
+// (and `make obs-smoke`): it starts the server on an ephemeral loopback
+// port, drives every endpoint through real HTTP, validates the /metrics
+// exposition with the strict parser and the /traces stream with the
+// tracecheck schema, and shuts the listener down cleanly. Any failure
+// returns an error (non-zero exit) — no curl, jq or scrape tooling
+// needed in CI.
+func runSmoke(cfg config, out io.Writer) error {
+	// A small workspace keeps the smoke run under a second.
+	if cfg.Scale < 4096 {
+		cfg.Scale = 4096
+	}
+	srv, err := newServer(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "smoke: workspace %s\n", srv.describe())
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	get := func(path string) ([]byte, error) {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return body, nil
+	}
+
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"healthz", func() error {
+			body, err := get("/healthz")
+			if err != nil {
+				return err
+			}
+			var h struct {
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal(body, &h); err != nil {
+				return err
+			}
+			if h.Status != "ok" {
+				return fmt.Errorf("status %q", h.Status)
+			}
+			return nil
+		}},
+		{"join auto", func() error {
+			body, err := get("/join?alg=auto&show=1")
+			if err != nil {
+				return err
+			}
+			var j joinResponse
+			if err := json.Unmarshal(body, &j); err != nil {
+				return err
+			}
+			if !j.Integrated || j.OuterDocs == 0 {
+				return fmt.Errorf("unexpected join response: %s", body)
+			}
+			fmt.Fprintf(out, "smoke: integrated chose %s (cost %.0f)\n", j.Algorithm, j.Cost)
+			return nil
+		}},
+		{"join parallel vvm", func() error {
+			_, err := get("/join?alg=vvm&workers=4&show=0")
+			return err
+		}},
+		{"metrics scrape", func() error {
+			body, err := get("/metrics")
+			if err != nil {
+				return err
+			}
+			if err := metrics.Lint(body); err != nil {
+				return fmt.Errorf("exposition rejected: %v", err)
+			}
+			if !strings.Contains(string(body), "textjoin_scrapes_total") {
+				return fmt.Errorf("exposition lacks textjoin_scrapes_total")
+			}
+			return nil
+		}},
+		{"metrics rates", func() error {
+			// A second scrape after more work carries rate gauges.
+			if _, err := get("/join?alg=hvnl&workers=2&show=0"); err != nil {
+				return err
+			}
+			body, err := get("/metrics")
+			if err != nil {
+				return err
+			}
+			if err := metrics.Lint(body); err != nil {
+				return fmt.Errorf("exposition rejected: %v", err)
+			}
+			if !strings.Contains(string(body), "_per_second") {
+				return fmt.Errorf("second scrape carries no rate gauges")
+			}
+			return nil
+		}},
+		{"traces stream", func() error {
+			body, err := get("/traces")
+			if err != nil {
+				return err
+			}
+			if len(body) == 0 {
+				return fmt.Errorf("empty trace stream")
+			}
+			if err := telemetry.ValidateJSONLines(body); err != nil {
+				return fmt.Errorf("trace stream rejected: %v", err)
+			}
+			return nil
+		}},
+		{"pprof index", func() error {
+			body, err := get("/debug/pprof/")
+			if err != nil {
+				return err
+			}
+			if !strings.Contains(string(body), "goroutine") {
+				return fmt.Errorf("pprof index lacks profiles")
+			}
+			return nil
+		}},
+	}
+	for _, step := range steps {
+		if err := step.run(); err != nil {
+			hs.Close()
+			return fmt.Errorf("%s: %w", step.name, err)
+		}
+		fmt.Fprintf(out, "smoke: %-18s ok\n", step.name)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintln(out, "smoke: shutdown clean")
+	return nil
+}

@@ -1,15 +1,21 @@
-// Command tracecheck validates a JSON telemetry snapshot read from
-// stdin against the exporter schema: counters and histograms sorted and
-// well-formed, bucket counts consistent, trace entries strictly ordered.
-// It exits 0 on a valid snapshot and 1 otherwise, so it can terminate a
-// pipeline like
+// Command tracecheck validates telemetry exports: JSON snapshots (the
+// -telemetry json exporter schema: counters and histograms sorted and
+// well-formed, bucket counts consistent, trace entries strictly ordered)
+// and JSON Lines trace streams (the textjoind /traces format, one trace
+// entry per line). The format is auto-detected per input.
+//
+// With no arguments it reads stdin, so it can terminate a pipeline like
 //
 //	textjoin ... -telemetry json 2>&1 1>/dev/null | tracecheck
 //
-// in the trace-smoke Makefile target.
+// With file arguments it validates each file, prints a per-file verdict,
+// and exits non-zero if any file is invalid — it does not stop at the
+// first bad file. -q suppresses the per-file "ok" lines (errors always
+// print).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -18,14 +24,64 @@ import (
 )
 
 func main() {
-	data, err := io.ReadAll(os.Stdin)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracecheck: read stdin:", err)
-		os.Exit(1)
+	quiet := flag.Bool("q", false, "print only errors, not per-file ok lines")
+	flag.Parse()
+	os.Exit(run(flag.Args(), os.Stdin, os.Stdout, os.Stderr, *quiet))
+}
+
+// run validates each named input (or stdin when none), reporting every
+// failure; the exit code is the number of invalid inputs capped at 1.
+func run(paths []string, stdin io.Reader, stdout, stderr io.Writer, quiet bool) int {
+	type input struct {
+		name string
+		data []byte
+		err  error
 	}
-	if err := telemetry.ValidateJSON(data); err != nil {
-		fmt.Fprintln(os.Stderr, "tracecheck:", err)
-		os.Exit(1)
+	var inputs []input
+	if len(paths) == 0 {
+		data, err := io.ReadAll(stdin)
+		inputs = append(inputs, input{"<stdin>", data, err})
 	}
-	fmt.Println("tracecheck: snapshot ok")
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		inputs = append(inputs, input{p, data, err})
+	}
+
+	bad := 0
+	for _, in := range inputs {
+		if in.err != nil {
+			fmt.Fprintf(stderr, "tracecheck: %s: %v\n", in.name, in.err)
+			bad++
+			continue
+		}
+		format, err := validate(in.data)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracecheck: %s: %v\n", in.name, err)
+			bad++
+			continue
+		}
+		if !quiet {
+			fmt.Fprintf(stdout, "tracecheck: %s: %s ok\n", in.name, format)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "tracecheck: %d of %d input(s) invalid\n", bad, len(inputs))
+		return 1
+	}
+	return 0
+}
+
+// validate auto-detects the export format: the snapshot schema first,
+// then the JSON Lines trace stream. An input valid under either passes;
+// one valid under neither reports both failures.
+func validate(data []byte) (string, error) {
+	snapErr := telemetry.ValidateJSON(data)
+	if snapErr == nil {
+		return "snapshot", nil
+	}
+	lineErr := telemetry.ValidateJSONLines(data)
+	if lineErr == nil {
+		return "trace stream", nil
+	}
+	return "", fmt.Errorf("not a valid snapshot (%v) nor a valid trace stream (%v)", snapErr, lineErr)
 }

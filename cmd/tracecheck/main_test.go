@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"textjoin/internal/telemetry"
+)
+
+func snapshotJSON(t *testing.T) []byte {
+	t.Helper()
+	tick := time.Unix(0, 0)
+	c := telemetry.New(telemetry.WithClock(func() time.Time {
+		tick = tick.Add(time.Millisecond)
+		return tick
+	}))
+	c.Counter("join.hhnl.outer_docs").Add(3)
+	c.Event(telemetry.PhasePlan, "estimate.hhnl.seq", 10)
+	c.StartSpan(telemetry.PhaseScan, "scan").End()
+	sink, err := telemetry.SinkFor("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := sink.Export(&sb, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return []byte(sb.String())
+}
+
+func jsonlStream(t *testing.T) []byte {
+	t.Helper()
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	for i, name := range []string{"a", "b", "c"} {
+		if err := enc.Encode(telemetry.Entry{
+			Seq: uint64(i + 1), Kind: telemetry.KindEvent,
+			Phase: telemetry.PhaseIO, Name: name, StartNanos: int64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return []byte(sb.String())
+}
+
+func write(t *testing.T, dir, name string, data []byte) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidateFormats(t *testing.T) {
+	if f, err := validate(snapshotJSON(t)); err != nil || f != "snapshot" {
+		t.Errorf("snapshot: format %q err %v", f, err)
+	}
+	if f, err := validate(jsonlStream(t)); err != nil || f != "trace stream" {
+		t.Errorf("jsonl: format %q err %v", f, err)
+	}
+	if _, err := validate([]byte("nonsense\n")); err == nil {
+		t.Error("garbage accepted")
+	} else if !strings.Contains(err.Error(), "snapshot") || !strings.Contains(err.Error(), "trace stream") {
+		t.Errorf("error does not mention both formats: %v", err)
+	}
+}
+
+func TestRunMultipleFiles(t *testing.T) {
+	dir := t.TempDir()
+	good1 := write(t, dir, "snap.json", snapshotJSON(t))
+	good2 := write(t, dir, "trace.jsonl", jsonlStream(t))
+	bad := write(t, dir, "bad.json", []byte("{broken\n"))
+
+	var out, errOut strings.Builder
+	if code := run([]string{good1, good2}, nil, &out, &errOut, false); code != 0 {
+		t.Errorf("all-valid run exited %d: %s", code, errOut.String())
+	}
+	if got := out.String(); !strings.Contains(got, "snapshot ok") || !strings.Contains(got, "trace stream ok") {
+		t.Errorf("missing ok lines:\n%s", got)
+	}
+
+	// A bad file in the middle does not stop later files from being
+	// checked, and the summary counts it.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{good1, bad, good2}, nil, &out, &errOut, false); code != 1 {
+		t.Errorf("run with bad file exited %d", code)
+	}
+	if !strings.Contains(errOut.String(), "1 of 3 input(s) invalid") {
+		t.Errorf("missing summary:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), good2) {
+		t.Errorf("later file skipped after error:\n%s", out.String())
+	}
+
+	// Quiet mode suppresses ok lines, never errors.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{good1, bad}, nil, &out, &errOut, true); code != 1 {
+		t.Errorf("quiet run exited %d", code)
+	}
+	if out.String() != "" {
+		t.Errorf("quiet mode printed ok lines:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "bad.json") {
+		t.Errorf("quiet mode swallowed the error:\n%s", errOut.String())
+	}
+
+	// Unreadable file counts as invalid.
+	if code := run([]string{filepath.Join(dir, "missing.json")}, nil, &out, &errOut, true); code != 1 {
+		t.Errorf("missing file exited %d", code)
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, strings.NewReader(string(snapshotJSON(t))), &out, &errOut, false); code != 0 {
+		t.Errorf("stdin run exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "<stdin>: snapshot ok") {
+		t.Errorf("stdin verdict missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"textjoin/internal/costmodel"
+	"textjoin/internal/telemetry"
+)
+
+// TestPlanSamples drives JoinIntegrated with telemetry attached and
+// checks that replaying the snapshot recovers exactly the planner's
+// estimated-vs-measured pair for the chosen algorithm.
+func TestPlanSamples(t *testing.T) {
+	e := buildEnv(t, 18, 30, 25, 60, 15, 256)
+	tel := telemetry.New()
+	opts := Options{Lambda: 5, MemoryPages: 100, Telemetry: tel}
+	_, st, dec, err := JoinIntegrated(e.inputs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples := PlanSamples(tel.Snapshot())
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1: %+v", len(samples), samples)
+	}
+	s := samples[0]
+	if s.Label != "plan-0" {
+		t.Errorf("label = %q, want plan-0", s.Label)
+	}
+	if s.Algorithm.String() != dec.Chosen.String() {
+		t.Errorf("sample algorithm %v, decision %v", s.Algorithm, dec.Chosen)
+	}
+	var wantEst float64
+	for _, est := range dec.Estimates {
+		if strings.EqualFold(est.Algorithm.String(), dec.Chosen.String()) {
+			wantEst = float64(costUnits(est.Seq))
+		}
+	}
+	if s.Estimated != wantEst {
+		t.Errorf("estimated = %g, want %g", s.Estimated, wantEst)
+	}
+	if want := float64(costUnits(st.Cost)); s.Measured != want {
+		t.Errorf("measured = %g, want %g", s.Measured, want)
+	}
+
+	// A second integrated run on the same collector adds a second sample.
+	if _, _, _, err := JoinIntegrated(e.inputs(), opts); err != nil {
+		t.Fatal(err)
+	}
+	samples = PlanSamples(tel.Snapshot())
+	if len(samples) != 2 || samples[1].Label != "plan-1" {
+		t.Fatalf("after second run: %+v", samples)
+	}
+}
+
+func TestPlanSamplesEdgeCases(t *testing.T) {
+	if got := PlanSamples(nil); got != nil {
+		t.Errorf("nil snapshot: %+v", got)
+	}
+
+	// A measurement with no preceding estimate (ring overwrote it) and
+	// events from other phases are both skipped.
+	tel := telemetry.New()
+	tel.Event(telemetry.PhaseScan, "estimate.hvnl.seq", 10) // wrong phase
+	tel.Event(telemetry.PhasePlan, "measured.hvnl.cost", 20)
+	tel.Event(telemetry.PhasePlan, "estimate.bogus.seq", 5) // unknown alg
+	tel.Event(telemetry.PhasePlan, "measured.bogus.cost", 6)
+	if got := PlanSamples(tel.Snapshot()); len(got) != 0 {
+		t.Errorf("orphan/unknown events produced samples: %+v", got)
+	}
+
+	// The latest estimate wins when the planner re-estimates.
+	tel = telemetry.New()
+	tel.Event(telemetry.PhasePlan, "estimate.vvm.seq", 100)
+	tel.Event(telemetry.PhasePlan, "estimate.vvm.seq", 40)
+	tel.Event(telemetry.PhasePlan, "measured.vvm.cost", 44)
+	got := PlanSamples(tel.Snapshot())
+	if len(got) != 1 || got[0].Estimated != 40 || got[0].Algorithm != costmodel.AlgVVM {
+		t.Fatalf("re-estimate: %+v", got)
+	}
+}

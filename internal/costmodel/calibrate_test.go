@@ -1,0 +1,125 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSampleRatio(t *testing.T) {
+	cases := []struct {
+		est, meas, want float64
+	}{
+		{100, 100, 1},
+		{100, 200, 2},
+		{200, 100, 0.5},
+		{0, 0, 1},
+		{0, 5, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		s := Sample{Estimated: tc.est, Measured: tc.meas}
+		if got := s.Ratio(); got != tc.want {
+			t.Errorf("Ratio(%g, %g) = %g, want %g", tc.est, tc.meas, got, tc.want)
+		}
+	}
+	if got := (Sample{Estimated: 100, Measured: 400}).Log2Err(); got != 2 {
+		t.Errorf("Log2Err(100,400) = %g, want 2", got)
+	}
+}
+
+func TestCalibrationHistogram(t *testing.T) {
+	c := NewCalibration(nil)
+	add := func(label string, a Algorithm, est, meas float64) {
+		t.Helper()
+		if err := c.Add(Sample{Label: label, Algorithm: a, Estimated: est, Measured: meas}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("a", AlgHHNL, 100, 100) // ratio 1.0    → (0.95, 1.05]
+	add("b", AlgHHNL, 100, 120) // ratio 1.2    → (1.05, 1.25]
+	add("c", AlgHHNL, 100, 900) // ratio 9      → overflow
+	add("d", AlgHVNL, 100, 50)  // ratio 0.5    → (0.25, 0.5]
+
+	h := c.Histogram(AlgHHNL)
+	if h.N != 3 {
+		t.Fatalf("HHNL N = %d, want 3", h.N)
+	}
+	// Bounds: .25 .5 .8 .95 1.05 1.25 2 4 | +Inf
+	want := []int64{0, 0, 0, 0, 1, 1, 0, 0, 1}
+	for i, n := range h.Counts {
+		if n != want[i] {
+			t.Errorf("bucket %d: got %d, want %d", i, n, want[i])
+		}
+	}
+	if h.Worst.Label != "c" {
+		t.Errorf("worst sample %q, want c", h.Worst.Label)
+	}
+	wantMean := (0 + math.Abs(math.Log2(1.2)) + math.Log2(9)) / 3
+	if math.Abs(h.MeanAbsLog2-wantMean) > 1e-12 {
+		t.Errorf("MeanAbsLog2 = %g, want %g", h.MeanAbsLog2, wantMean)
+	}
+	if hv := c.Histogram(AlgHVNL); hv.N != 1 || hv.Counts[1] != 1 {
+		t.Errorf("HVNL histogram wrong: %+v", hv)
+	}
+	if vv := c.Histogram(AlgVVM); vv.N != 0 {
+		t.Errorf("VVM histogram should be empty, got N=%d", vv.N)
+	}
+
+	if err := c.Add(Sample{Estimated: -1, Measured: 1}); err == nil {
+		t.Error("negative estimate accepted")
+	}
+	if err := c.Add(Sample{Estimated: math.NaN(), Measured: 1}); err == nil {
+		t.Error("NaN estimate accepted")
+	}
+}
+
+// TestMispicks pins the disagreement detector: a cell where the model
+// ranks HVNL cheapest but the measurement ranks VVM cheapest is a
+// mispick with the measured penalty of running HVNL anyway.
+func TestMispicks(t *testing.T) {
+	c := NewCalibration(nil)
+	// Cell "agree": model and measurement both pick HHNL.
+	c.Add(Sample{Label: "agree", Algorithm: AlgHHNL, Estimated: 10, Measured: 12})
+	c.Add(Sample{Label: "agree", Algorithm: AlgHVNL, Estimated: 50, Measured: 60})
+	c.Add(Sample{Label: "agree", Algorithm: AlgVVM, Estimated: 90, Measured: 80})
+	// Cell "flip": model picks HVNL (40 < 50), measurement picks VVM.
+	c.Add(Sample{Label: "flip", Algorithm: AlgHHNL, Estimated: 100, Measured: 90})
+	c.Add(Sample{Label: "flip", Algorithm: AlgHVNL, Estimated: 40, Measured: 88})
+	c.Add(Sample{Label: "flip", Algorithm: AlgVVM, Estimated: 50, Measured: 44})
+	// Cell "single": one algorithm only — unrankable, skipped.
+	c.Add(Sample{Label: "single", Algorithm: AlgVVM, Estimated: 5, Measured: 50})
+
+	mis := c.Mispicks()
+	if len(mis) != 1 {
+		t.Fatalf("got %d mispicks, want 1: %+v", len(mis), mis)
+	}
+	m := mis[0]
+	if m.Label != "flip" || m.EstimatedBest != AlgHVNL || m.MeasuredBest != AlgVVM {
+		t.Errorf("mispick = %+v", m)
+	}
+	if want := 2.0; m.Penalty != want {
+		t.Errorf("penalty = %g, want %g", m.Penalty, want)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	c := NewCalibration(nil)
+	c.Add(Sample{Label: "wsj-wsj", Algorithm: AlgHHNL, Estimated: 100, Measured: 130})
+	c.Add(Sample{Label: "wsj-wsj", Algorithm: AlgHVNL, Estimated: 200, Measured: 90})
+	c.Add(Sample{Label: "wsj-wsj", Algorithm: AlgVVM, Estimated: 50, Measured: 100})
+
+	var sb strings.Builder
+	if err := c.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## HHNL", "## HVNL", "## VVM", "mispicks", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+	// VVM was the estimated winner (50) but HVNL measures cheapest (90).
+	if !strings.Contains(out, "estimated winner VVM, measured winner HVNL") {
+		t.Errorf("report lacks the mispick line:\n%s", out)
+	}
+}

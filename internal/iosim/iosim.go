@@ -261,6 +261,20 @@ func (d *Disk) ResetStats() {
 	d.stats = Stats{}
 }
 
+// ParkHeads parks every file's head (and the shared head, if any) so
+// the next read of each file counts as random regardless of prior
+// activity. Benchmarks park between measurements so a cell's
+// sequential/random classification does not depend on where the
+// previous cell left the heads.
+func (d *Disk) ParkHeads() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range d.files {
+		f.head = -1
+	}
+	d.lastFile = nil
+}
+
 // Cost returns the accumulated cost under the disk's α.
 func (d *Disk) Cost() float64 {
 	d.mu.Lock()

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"textjoin/internal/telemetry"
+)
+
+// Exporter serves a collector's state as Prometheus text, computing
+// per-second rate gauges between successive scrapes via Snapshot.Diff.
+//
+// Scraping never blocks a running join's hot path: taking a snapshot
+// reads counters and buckets atomically and holds the collector's short
+// map and ring mutexes only while copying — the same operations the
+// differential harness pins as safe concurrent with collection. A nil
+// collector exports only the exporter's own scrape counter, so a server
+// with telemetry disabled still answers /metrics.
+//
+// Exporter is safe for concurrent use; concurrent scrapes serialize only
+// on the small previous-snapshot swap, not on encoding.
+type Exporter struct {
+	col *telemetry.Collector
+	now func() time.Time
+
+	mu      sync.Mutex
+	prev    *telemetry.Snapshot
+	prevAt  time.Time
+	scrapes int64
+}
+
+// ExporterOption configures an Exporter.
+type ExporterOption func(*Exporter)
+
+// WithExporterClock substitutes the time source used for rate windows,
+// letting tests produce deterministic rates.
+func WithExporterClock(now func() time.Time) ExporterOption {
+	return func(e *Exporter) { e.now = now }
+}
+
+// NewExporter creates an exporter over col (which may be nil).
+func NewExporter(col *telemetry.Collector, opts ...ExporterOption) *Exporter {
+	e := &Exporter{col: col, now: time.Now}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// WriteMetrics takes a snapshot, renders it with rate gauges against the
+// previous scrape, and remembers it for the next one. The first scrape
+// has no rate window and exports totals only.
+func (e *Exporter) WriteMetrics(w io.Writer) error {
+	s := e.col.Snapshot()
+	now := e.now()
+
+	e.mu.Lock()
+	prev, prevAt := e.prev, e.prevAt
+	e.prev, e.prevAt = s, now
+	e.scrapes++
+	scrapes := e.scrapes
+	e.mu.Unlock()
+
+	fs := newFamilySet()
+	fs.addSnapshot(s)
+	if prev != nil {
+		fs.addRates(s.Diff(prev), now.Sub(prevAt).Seconds())
+	}
+	fs.addInt(Namespace+"_scrapes_total", "counter", nil, scrapes)
+	return fs.write(w)
+}
+
+// ServeHTTP implements the /metrics endpoint.
+func (e *Exporter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	if err := e.WriteMetrics(w); err != nil {
+		// Headers are gone; all we can do is drop the connection early.
+		return
+	}
+}
+
+// TraceHandler serves the collector's trace ring as JSONL — one
+// telemetry Entry per line, ascending Seq, exactly the stream
+// telemetry.ValidateJSONLines (and cmd/tracecheck) accepts. The
+// optional ?since=<seq> query parameter returns only entries with
+// Seq > since, so a poller can tail the ring across requests.
+func TraceHandler(col *telemetry.Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		haveSince := false
+		if v := r.URL.Query().Get("since"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "traces: bad since parameter: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since, haveSince = n, true
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s := col.Snapshot()
+		enc := json.NewEncoder(w)
+		for _, e := range s.Trace {
+			if haveSince && e.Seq <= since {
+				continue
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"textjoin/internal/telemetry"
+)
+
+func TestTraceHandler(t *testing.T) {
+	tick := time.Unix(0, 0)
+	c := telemetry.New(telemetry.WithClock(func() time.Time {
+		tick = tick.Add(time.Millisecond)
+		return tick
+	}))
+	c.Event(telemetry.PhaseIO, "a", 1)
+	c.StartSpan(telemetry.PhaseScan, "b").End()
+	c.Event(telemetry.PhasePlan, "c", 3)
+
+	srv := httptest.NewServer(TraceHandler(c))
+	defer srv.Close()
+
+	get := func(url string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := telemetry.ValidateJSONLines(body); err != nil {
+			t.Fatalf("trace stream rejected by validator: %v\n%s", err, body)
+		}
+		return string(body)
+	}
+
+	full := get(srv.URL)
+	if n := strings.Count(full, "\n"); n != 3 {
+		t.Errorf("full stream has %d lines, want 3:\n%s", n, full)
+	}
+	tail := get(srv.URL + "?since=1")
+	if n := strings.Count(tail, "\n"); n != 1 {
+		t.Errorf("since=1 stream has %d lines, want 1:\n%s", n, tail)
+	}
+	if !strings.Contains(tail, `"name":"c"`) {
+		t.Errorf("since=1 stream lacks the newest entry:\n%s", tail)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "?since=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad since parameter: got status %d, want 400", resp.StatusCode)
+	}
+}

@@ -153,6 +153,8 @@ type boundTable struct {
 // Execute runs a parsed query: push selections down, choose the join
 // algorithm by estimated cost, run it, and project the results.
 func (e *Engine) Execute(q *Query, opts Options) (*ResultSet, error) {
+	// Nil-safe: with no collector attached these are single nil checks.
+	opts.Telemetry.Counter("query.statements").Add(1)
 	if len(q.From) != 2 {
 		return nil, fmt.Errorf("query: exactly two relations required, got %d", len(q.From))
 	}
@@ -340,6 +342,7 @@ func (e *Engine) Execute(q *Query, opts Options) (*ResultSet, error) {
 				fmt.Sprintf("estimate %v: seq=%.0f rand=%.0f", e.Algorithm, e.Seq, e.Rand))
 		}
 		rs.Plan = append(rs.Plan, fmt.Sprintf("chosen: %v", dec.Chosen))
+		opts.Telemetry.Counter("query.explains").Add(1)
 		return rs, nil
 	}
 	var results []core.Result
@@ -400,6 +403,7 @@ func (e *Engine) Execute(q *Query, opts Options) (*ResultSet, error) {
 			rs.Rows = append(rs.Rows, row)
 		}
 	}
+	opts.Telemetry.Counter("query.rows").Add(int64(len(rs.Rows)))
 	return rs, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
 	"textjoin/internal/relation"
+	"textjoin/internal/telemetry"
 	"textjoin/internal/termmap"
 	"textjoin/internal/tokenize"
 )
@@ -381,5 +382,46 @@ func TestExecuteUnqualifiedAndAmbiguous(t *testing.T) {
 	}
 	if len(rs.Rows) == 0 {
 		t.Error("no rows")
+	}
+}
+
+func TestExecuteTelemetryCounters(t *testing.T) {
+	e := buildJobEnv(t)
+	tel := telemetry.New()
+	opts := Options{MemoryPages: 100, Telemetry: tel}
+	rs, err := e.engine.ExecuteString(`
+		Select P.Title, A.Name
+		From Positions P, Applicants A
+		Where A.Resume SIMILAR_TO(1) P.Job_descr`, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.ExplainOnly = true
+	if _, err := e.engine.ExecuteString(`
+		Select P.Title From Positions P, Applicants A
+		Where A.Resume SIMILAR_TO(1) P.Job_descr`, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	s := tel.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range s.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["query.statements"] != 2 {
+		t.Errorf("query.statements = %d, want 2", counters["query.statements"])
+	}
+	if counters["query.explains"] != 1 {
+		t.Errorf("query.explains = %d, want 1", counters["query.explains"])
+	}
+	if counters["query.rows"] != int64(len(rs.Rows)) {
+		t.Errorf("query.rows = %d, want %d", counters["query.rows"], len(rs.Rows))
+	}
+
+	// A nil collector must stay nil-safe end to end.
+	if _, err := e.engine.ExecuteString(`
+		Select P.Title From Positions P, Applicants A
+		Where A.Resume SIMILAR_TO(1) P.Job_descr`, Options{MemoryPages: 100}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -137,8 +137,16 @@ func ValidateJSON(data []byte) error {
 			return fmt.Errorf("telemetry: histogram %s bucket counts sum to %d, count is %d", h.Name, sum, h.Count)
 		}
 	}
+	return ValidateEntries(s.Trace)
+}
+
+// ValidateEntries checks a sequence of trace entries against the
+// exporter schema: strictly ascending sequence numbers, known kinds, and
+// non-empty phase and name. It is the shared rule set behind the trace
+// section of ValidateJSON and the JSONL streams of ValidateJSONLines.
+func ValidateEntries(entries []Entry) error {
 	var prevSeq uint64
-	for i, e := range s.Trace {
+	for i, e := range entries {
 		if i > 0 && e.Seq <= prevSeq {
 			return fmt.Errorf("telemetry: trace seq not ascending at %d", i)
 		}
@@ -151,4 +159,30 @@ func ValidateJSON(data []byte) error {
 		}
 	}
 	return nil
+}
+
+// ValidateJSONLines checks data against the streamed-trace schema: one
+// JSON trace entry per non-empty line (the /traces endpoint's JSONL
+// format), no unknown fields, obeying the same entry rules as a
+// snapshot's trace section. An empty stream is valid: a quiet ring has
+// nothing to say.
+func ValidateJSONLines(data []byte) error {
+	var entries []Entry
+	for lineNo, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var e Entry
+		if err := dec.Decode(&e); err != nil {
+			return fmt.Errorf("telemetry: line %d: invalid trace entry: %w", lineNo+1, err)
+		}
+		if dec.More() {
+			return fmt.Errorf("telemetry: line %d: trailing data after trace entry", lineNo+1)
+		}
+		entries = append(entries, e)
+	}
+	return ValidateEntries(entries)
 }

@@ -119,3 +119,39 @@ func TestSinkFor(t *testing.T) {
 		t.Error("SinkFor(xml) accepted")
 	}
 }
+
+func TestValidateJSONLines(t *testing.T) {
+	valid := `{"seq":1,"kind":"span","phase":"scan","name":"a","start_ns":10,"dur_ns":5}
+{"seq":2,"kind":"event","phase":"io","name":"b","start_ns":20,"value":3}
+
+{"seq":7,"kind":"event","phase":"plan","name":"c","start_ns":30}`
+	if err := ValidateJSONLines([]byte(valid)); err != nil {
+		t.Fatalf("valid JSONL rejected: %v", err)
+	}
+	if err := ValidateJSONLines(nil); err != nil {
+		t.Fatalf("empty stream rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"not-json", "{", "invalid trace entry"},
+		{"unknown-field", `{"seq":1,"kind":"event","phase":"io","name":"a","bogus":1}`, "invalid trace entry"},
+		{"trailing", `{"seq":1,"kind":"event","phase":"io","name":"a"} {}`, "trailing data"},
+		{"seq", "{\"seq\":2,\"kind\":\"event\",\"phase\":\"io\",\"name\":\"a\"}\n{\"seq\":1,\"kind\":\"event\",\"phase\":\"io\",\"name\":\"b\"}", "seq not ascending"},
+		{"kind", `{"seq":1,"kind":"blip","phase":"io","name":"a"}`, "unknown kind"},
+		{"phase", `{"seq":1,"kind":"event","phase":"","name":"a"}`, "lacks phase or name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateJSONLines([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("validator accepted a malformed stream")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

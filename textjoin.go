@@ -37,6 +37,7 @@ package textjoin
 
 import (
 	"io"
+	"net/http"
 
 	"textjoin/internal/cluster"
 	"textjoin/internal/collection"
@@ -47,6 +48,7 @@ import (
 	"textjoin/internal/entrycache"
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
+	"textjoin/internal/metrics"
 	"textjoin/internal/query"
 	"textjoin/internal/relation"
 	"textjoin/internal/simulate"
@@ -208,6 +210,29 @@ func NewTelemetry(opts ...TelemetryOption) *Telemetry { return telemetry.New(opt
 // TelemetrySinkFor maps "text" or "json" to a sink.
 func TelemetrySinkFor(mode string) (TelemetrySink, error) { return telemetry.SinkFor(mode) }
 
+// MetricsExporter serves a collector as a Prometheus text exposition,
+// computing per-second rates between successive scrapes.
+type MetricsExporter = metrics.Exporter
+
+// NewMetricsExporter creates a /metrics handler over a collector (nil is
+// allowed and serves an empty exposition).
+func NewMetricsExporter(t *Telemetry) *MetricsExporter { return metrics.NewExporter(t) }
+
+// EncodeMetrics renders one snapshot as Prometheus exposition text, with
+// the stable textjoin_* naming scheme (see DESIGN.md §10).
+func EncodeMetrics(w io.Writer, s *TelemetrySnapshot) error { return metrics.Encode(w, s) }
+
+// TraceStreamHandler serves a collector's trace ring as JSON Lines (one
+// telemetry entry per line); the since query parameter tails entries
+// with larger sequence numbers.
+func TraceStreamHandler(t *Telemetry) http.Handler { return metrics.TraceHandler(t) }
+
+// ParseAlgorithm maps "hhnl", "hvnl" or "vvm" to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// ParseWeighting maps "raw", "cosine" or "tfidf" to a Weighting.
+func ParseWeighting(s string) (Weighting, error) { return document.ParseWeighting(s) }
+
 // NewLocalMapping builds the memory-resident local → standard term-number
 // mapping for an autonomous IR system from its vocabulary.
 func NewLocalMapping(system string, dict *Dictionary, localVocab map[uint32]string) (*LocalMapping, error) {
@@ -252,6 +277,11 @@ func (w *Workspace) Disk() *Disk { return w.disk }
 // ResetIOStats zeroes the disk's I/O counters, typically after the build
 // phase so only join-time I/O is measured.
 func (w *Workspace) ResetIOStats() { w.disk.ResetStats() }
+
+// ParkHeads parks every file's head so the next read of each file
+// counts as random regardless of prior activity — call it between
+// measured runs to make their I/O classification order-independent.
+func (w *Workspace) ParkHeads() { w.disk.ParkHeads() }
 
 // SetTelemetry attaches a collector to the workspace disk so per-file
 // sequential/random read counters and page/latency histograms are
