@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json
+.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json lint lint-report
 
 build:
 	$(GO) build ./...
@@ -9,6 +9,9 @@ test: build
 	$(GO) test ./...
 
 # verify is the CI gate for the concurrent join paths: vet everything,
+# run the in-repo static-analysis suite (cmd/lintcheck: package-DAG,
+# map-iteration determinism, wall-clock hygiene, nil-receiver guards,
+# mutex hygiene — fails on any finding or unexplained lint:ignore),
 # then race-check the packages with goroutines (owner-sharded parallel
 # VVM and HVNL, parallel HHNL), the accumulator layer they share, the
 # entry cache the parallel HVNL coordinator drives, the telemetry
@@ -20,7 +23,19 @@ test: build
 # benchmark grid.
 verify: obs-smoke bench-json
 	$(GO) vet ./...
+	$(GO) run ./cmd/lintcheck
 	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/... ./internal/telemetry/... ./internal/metrics/... ./cmd/textjoind/...
+
+# lint runs the repo's own static-analysis suite over the whole module:
+# five analyzers driven by the checked-in policy table in
+# internal/analysis/policy.go (see DESIGN.md §11). Exit 1 on findings.
+lint:
+	$(GO) run ./cmd/lintcheck
+
+# lint-report prints the review-friendly view: every rule with its doc
+# line and finding count, the suppression tally, then each finding.
+lint-report:
+	$(GO) run ./cmd/lintcheck -report || true
 
 race:
 	$(GO) test -race ./...

@@ -2,8 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"textjoin/internal/analysis"
 )
 
 // tinyConfig keeps test grids fast: heavily scaled collections.
@@ -162,5 +166,33 @@ func TestHumanReport(t *testing.T) {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("human report lacks %q:\n%s", want, sb.String())
 		}
+	}
+}
+
+// TestLintcheckClean holds this command to the repo's own static
+// analysis suite: the benchmark harness feeds checked-in baselines, so
+// its own determinism hygiene is lint-enforced, not just reviewed.
+func TestLintcheckClean(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			t.Fatal("no go.mod above working directory")
+		}
+		root = parent
+	}
+	report, err := analysis.Run(root, analysis.DefaultPolicy(),
+		analysis.RunOptions{Packages: []string{"cmd/benchreport"}})
+	if err != nil {
+		t.Fatalf("analysis.Run: %v", err)
+	}
+	for _, d := range report.Diagnostics {
+		t.Errorf("%s", d)
 	}
 }

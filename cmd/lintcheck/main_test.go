@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"textjoin/internal/analysis"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestLiveRepoClean is the shipped-tree acceptance bar through the
+// actual driver: the checked-in module must lint clean, exit 0.
+func TestLiveRepoClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(repoRoot(t), "", "", false, false, false, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "lintcheck: ok") {
+		t.Errorf("missing ok line: %s", stdout.String())
+	}
+}
+
+// writeInjected builds a temp module containing a deliberate wallclock
+// violation in a package missing from the import-layer table.
+func writeInjected(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module injected\n\ngo 1.22\n",
+		"internal/badpkg/bad.go": `// Package badpkg exists to prove the lint gate fails closed.
+package badpkg
+
+import "time"
+
+// Stamp reads the wall clock from library code.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestInjectedViolationFails is the negative test behind the `make
+// verify` acceptance criterion: a module with a violation makes the
+// driver exit 1 and name the finding.
+func TestInjectedViolationFails(t *testing.T) {
+	root := writeInjected(t)
+	var stdout, stderr bytes.Buffer
+	code := run(root, "wallclock", "", false, false, false, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "must not read the wall clock") {
+		t.Errorf("finding not printed: %s", stdout.String())
+	}
+
+	// An unfiltered run additionally flags the package as missing from
+	// the import-layer policy table.
+	stdout.Reset()
+	stderr.Reset()
+	code = run(root, "", "", false, false, false, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("full run exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "not in the import-layer policy table") {
+		t.Errorf("policy-table finding missing: %s", stdout.String())
+	}
+}
+
+// TestJSONSchema validates -json output against the strict report
+// schema, on both a clean run and a failing run.
+func TestJSONSchema(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(repoRoot(t), "", "", true, false, false, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if err := analysis.ValidateReport(stdout.Bytes()); err != nil {
+		t.Errorf("clean-run JSON invalid: %v", err)
+	}
+
+	stdout.Reset()
+	code = run(writeInjected(t), "wallclock", "", true, false, false, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("injected exit = %d, want 1", code)
+	}
+	if err := analysis.ValidateReport(stdout.Bytes()); err != nil {
+		t.Errorf("failing-run JSON invalid: %v", err)
+	}
+}
+
+// TestReportMode prints the per-rule summary and still exits by
+// finding count.
+func TestReportMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(writeInjected(t), "wallclock", "", false, true, false, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	out := stdout.String()
+	for _, want := range []string{"module injected", "wallclock", "suppressed by lint:ignore"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report mode missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUsageErrors exit with status 2, distinct from findings.
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(repoRoot(t), "nosuchrule", "", false, false, false, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown rule exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown rule") {
+		t.Errorf("stderr = %s", stderr.String())
+	}
+	stderr.Reset()
+	if code := run(t.TempDir(), "", "", false, false, false, &stdout, &stderr); code != 2 {
+		t.Errorf("rootless dir exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ValidateReport checks that data is a well-formed `lintcheck -json`
+// report, the same strict-schema idiom as telemetry.ValidateJSON: no
+// unknown fields, no trailing data, and the structural invariants a
+// consumer may rely on — module set, rules known and sorted, packages
+// sorted, diagnostics sorted by position with every field populated
+// and every rule among the rules that ran.
+func ValidateReport(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("analysis: invalid report: %w", err)
+	}
+	if dec.More() {
+		return errors.New("analysis: trailing data after report")
+	}
+	if r.Module == "" {
+		return errors.New("analysis: report has no module")
+	}
+	if len(r.Rules) == 0 {
+		return errors.New("analysis: report ran no rules")
+	}
+	known := knownRules(Analyzers(DefaultPolicy()))
+	knownSet := make(map[string]bool, len(known)+1)
+	for _, k := range known {
+		knownSet[k] = true
+	}
+	knownSet[RuleLintDirective] = true
+	ranSet := make(map[string]bool, len(r.Rules)+1)
+	for i, rule := range r.Rules {
+		if !knownSet[rule] {
+			return fmt.Errorf("analysis: report names unknown rule %q", rule)
+		}
+		if i > 0 && r.Rules[i-1] >= rule {
+			return errors.New("analysis: report rules not sorted and unique")
+		}
+		ranSet[rule] = true
+	}
+	ranSet[RuleLintDirective] = true
+	for i, p := range r.Packages {
+		if p == "" {
+			return errors.New("analysis: report has empty package path")
+		}
+		if i > 0 && r.Packages[i-1] >= p {
+			return errors.New("analysis: report packages not sorted and unique")
+		}
+	}
+	if r.Suppressed < 0 {
+		return errors.New("analysis: negative suppressed count")
+	}
+	for i, d := range r.Diagnostics {
+		if !ranSet[d.Rule] {
+			return fmt.Errorf("analysis: diagnostic %d has rule %q which did not run", i, d.Rule)
+		}
+		if d.File == "" || d.Message == "" || d.Package == "" {
+			return fmt.Errorf("analysis: diagnostic %d has empty file, package or message", i)
+		}
+		if d.Line < 1 || d.Col < 1 {
+			return fmt.Errorf("analysis: diagnostic %d has position %d:%d before line 1, col 1", i, d.Line, d.Col)
+		}
+	}
+	sorted := make([]Diagnostic, len(r.Diagnostics))
+	copy(sorted, r.Diagnostics)
+	sortDiagnostics(sorted)
+	for i := range sorted {
+		if sorted[i] != r.Diagnostics[i] {
+			return fmt.Errorf("analysis: diagnostics not in position order at index %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the packages of one module without any
+// tooling beyond the standard library. Module-internal imports resolve
+// to the module's own directories; everything else resolves through the
+// stdlib source importer (go/importer "source"), which reads GOROOT and
+// therefore works no matter how the module is laid out. Loaded packages
+// are cached, so a whole-module run type-checks each package once.
+type Loader struct {
+	// Root is the absolute module root (the directory with go.mod).
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+	// Types enables type checking. Syntactic runs (import-layer only)
+	// leave it off and skip the cost entirely.
+	Types bool
+
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*Package // keyed by rel
+	checking map[string]bool     // import-cycle guard
+}
+
+// NewLoader builds a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:     abs,
+		Module:   module,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     make(map[string]*Package),
+		checking: make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s", gomod)
+}
+
+// PackageDirs walks the module and returns the module-relative
+// directory of every buildable package ("" for the root), sorted.
+// Hidden directories, underscore directories and testdata trees are
+// skipped, mirroring the go tool's matching rules.
+func (l *Loader) PackageDirs() ([]string, error) {
+	var rels []string
+	err := filepath.WalkDir(l.Root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		has, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if has {
+			rel, err := filepath.Rel(l.Root, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				rel = ""
+			}
+			rels = append(rels, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(rels)
+	return rels, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// isSourceFile reports whether name is a non-test Go source file. Test
+// files are out of scope for every analyzer: tests may legitimately
+// cross layers, read clocks and iterate maps.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// Load parses (and, when l.Types is set, type-checks) the package in
+// the module-relative directory rel. Results are cached.
+func (l *Loader) Load(rel string) (*Package, error) {
+	if p, ok := l.pkgs[rel]; ok {
+		return p, nil
+	}
+	if l.checking[rel] {
+		return nil, fmt.Errorf("import cycle through %s", relOrRoot(rel))
+	}
+	l.checking[rel] = true
+	defer delete(l.checking, rel)
+
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go source files in %s", relOrRoot(rel))
+	}
+
+	pkg := &Package{
+		Module: l.Module,
+		Path:   l.importPath(rel),
+		Rel:    rel,
+		Fset:   l.fset,
+	}
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		// Positions carry the module-relative path so diagnostics are
+		// stable across checkouts and readable in CI logs.
+		display := filepath.ToSlash(filepath.Join(filepath.FromSlash(rel), name))
+		f, err := parser.ParseFile(l.fset, display, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	if l.Types {
+		if err := l.typeCheck(pkg); err != nil {
+			return nil, err
+		}
+	}
+	l.pkgs[rel] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) importPath(rel string) string {
+	if rel == "" {
+		return l.Module
+	}
+	return l.Module + "/" + rel
+}
+
+// typeCheck runs go/types over the parsed files. Errors are collected
+// softly into pkg.TypeErrors (Info stays usable for whatever did
+// resolve); the engine decides whether they are fatal.
+func (l *Loader) typeCheck(pkg *Package) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{
+		Importer: l,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, err := cfg.Check(pkg.Path, l.fset, pkg.Files, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// Import implements types.Importer: module paths load from the module
+// tree, "unsafe" maps to types.Unsafe, and everything else goes to the
+// stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		p, err := l.Load(rel)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.TypeErrors) > 0 {
+			return nil, fmt.Errorf("package %s has type errors: %v", path, p.TypeErrors[0])
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}

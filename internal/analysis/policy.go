@@ -1,0 +1,117 @@
+package analysis
+
+// Policy is the checked-in table of repo-specific facts the analyzers
+// enforce. DESIGN.md §11 documents it as the source of truth for the
+// package DAG: a PR that adds a dependency edge must extend this table,
+// which makes layering changes reviewable instead of accidental.
+type Policy struct {
+	// ImportLayer is the package DAG. Key: module-relative package
+	// path. Value: the complete list of module-internal packages it may
+	// import (stdlib is always allowed; anything outside the module is
+	// never allowed — the repo is dependency-free by design). Every
+	// package under internal/ MUST have an entry: an internal package
+	// missing from the table is itself a violation, so new packages
+	// declare their layer on arrival. Packages outside internal/
+	// (the facade, cmd/*, examples/*) may import any module package
+	// except that nothing may import cmd/* binaries.
+	ImportLayer map[string][]string
+
+	// MapDeterminism lists the result-producing packages in which a
+	// `for range` over a map is flagged unless the loop's function
+	// later feeds a sort (or the site carries an ignore directive).
+	MapDeterminism []string
+
+	// WallClockExempt lists the internal packages allowed to read the
+	// wall clock and global rand state. Everything else under
+	// internal/ must stay deterministic so benchreport baselines remain
+	// byte-stable.
+	WallClockExempt []string
+
+	// NilRecv maps a package to the types whose exported
+	// pointer-receiver methods must begin with a nil-receiver guard
+	// (the telemetry disabled-path contract).
+	NilRecv map[string][]string
+
+	// MutexScope lists the packages where holding a mutex across a
+	// call into a MutexForbidden package is flagged — the
+	// scrape-lock-free promise of the observability layer.
+	MutexScope []string
+
+	// MutexForbidden lists the module-relative packages whose
+	// functions and methods must not be called under a held lock
+	// within MutexScope (direct calls; the join paths that hold the
+	// join mutex call through the facade and are out of scope).
+	MutexForbidden []string
+}
+
+// DefaultPolicy returns the live repo's policy. The ImportLayer table
+// transcribes the DESIGN.md layer diagram: telemetry is zero-dep,
+// accum/codec/costmodel/relation/topk/analysis are stdlib-only,
+// document sits one rung above codec, metrics sees only telemetry
+// among internal packages, and the join core is the only package that
+// may pull the whole storage stack together.
+func DefaultPolicy() *Policy {
+	return &Policy{
+		ImportLayer: map[string][]string{
+			"internal/accum":     {},
+			"internal/analysis":  {},
+			"internal/codec":     {},
+			"internal/costmodel": {},
+			"internal/relation":  {},
+			"internal/telemetry": {},
+			"internal/topk":      {},
+
+			"internal/document": {"internal/codec"},
+			"internal/iosim":    {"internal/telemetry"},
+			"internal/metrics":  {"internal/telemetry"},
+
+			"internal/btree":      {"internal/codec", "internal/iosim"},
+			"internal/termmap":    {"internal/codec", "internal/document"},
+			"internal/tokenize":   {"internal/document", "internal/termmap"},
+			"internal/collection": {"internal/codec", "internal/document", "internal/iosim"},
+			"internal/stats":      {"internal/collection", "internal/document"},
+			"internal/invfile":    {"internal/btree", "internal/codec", "internal/collection", "internal/iosim"},
+			"internal/entrycache": {"internal/invfile", "internal/telemetry"},
+			"internal/cluster":    {"internal/collection", "internal/document", "internal/iosim"},
+			"internal/corpus":     {"internal/collection", "internal/costmodel", "internal/document", "internal/iosim"},
+
+			"internal/core": {
+				"internal/accum", "internal/codec", "internal/collection",
+				"internal/costmodel", "internal/document", "internal/entrycache",
+				"internal/invfile", "internal/iosim", "internal/stats",
+				"internal/telemetry", "internal/topk",
+			},
+			"internal/query": {
+				"internal/collection", "internal/core", "internal/costmodel",
+				"internal/document", "internal/invfile", "internal/relation",
+				"internal/telemetry",
+			},
+			"internal/simulate": {
+				"internal/collection", "internal/core", "internal/corpus",
+				"internal/costmodel", "internal/invfile", "internal/iosim",
+				"internal/telemetry",
+			},
+		},
+		MapDeterminism: []string{
+			"internal/accum", "internal/core", "internal/invfile", "internal/query",
+		},
+		WallClockExempt: []string{"internal/telemetry"},
+		NilRecv: map[string][]string{
+			"internal/telemetry": {"Collector", "Counter", "Histogram", "Snapshot"},
+			"internal/metrics":   {"Exporter"},
+		},
+		MutexScope:     []string{"internal/metrics", "internal/telemetry", "cmd/textjoind"},
+		MutexForbidden: []string{"internal/iosim"},
+	}
+}
+
+// Analyzers instantiates the full analyzer suite over a policy.
+func Analyzers(pol *Policy) []Analyzer {
+	return []Analyzer{
+		&importLayer{pol: pol},
+		&mapDeterminism{pol: pol},
+		&wallClock{pol: pol},
+		&nilRecv{pol: pol},
+		&mutexHygiene{pol: pol},
+	}
+}

@@ -1,0 +1,9 @@
+// Command tool may import anything in the module.
+package main
+
+import (
+	_ "layered"
+	_ "layered/internal/a"
+)
+
+func main() {}

@@ -1,0 +1,3 @@
+module layered
+
+go 1.22

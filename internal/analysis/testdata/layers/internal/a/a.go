@@ -1,0 +1,4 @@
+// Package a is a stdlib-only leaf: listed with an empty allow list.
+package a
+
+import _ "sort"

@@ -1,0 +1,17 @@
+// Package b is allowed to depend on internal/a only; every other
+// module import here violates a layer rule.
+package b
+
+import (
+	_ "strings"
+
+	_ "github.com/acme/dep" // want importlayer "dependency-free"
+
+	_ "layered" // want importlayer "must not import the facade"
+
+	_ "layered/cmd/tool" // want importlayer "never importable"
+
+	_ "layered/internal/a"
+
+	_ "layered/internal/c" // want importlayer "not an allowed dependency"
+)

@@ -1,0 +1,5 @@
+// Package c is listed with an empty allow list, so its import of
+// internal/a is a violation.
+package c
+
+import _ "layered/internal/a" // want importlayer "not an allowed dependency"

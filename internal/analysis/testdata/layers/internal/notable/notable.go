@@ -1,0 +1,5 @@
+// Package notable is missing from the fixture policy table: internal
+// packages must declare their layer on arrival.
+package notable // want importlayer "not in the import-layer policy table"
+
+import _ "sort"

@@ -1,0 +1,55 @@
+// Package core is the mapdeterminism fixture: a result-producing
+// package in the fixture policy.
+package core
+
+import "sort"
+
+// Keys walks a map straight into its result: flagged.
+func Keys(m map[int]string) []int {
+	var out []int
+	for k := range m { // want mapdeterminism "range over map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: the accepted idiom.
+func SortedKeys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SortBeforeRange sorts something else before iterating: the sort does
+// not cover the loop, so the loop is still flagged.
+func SortBeforeRange(m map[int]int) []int {
+	pre := []int{2, 1}
+	sort.Ints(pre)
+	var out []int
+	for k := range m { // want mapdeterminism "range over map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SliceWalk ranges a slice: never flagged.
+func SliceWalk(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Justified is order-independent and says so.
+func Justified(m map[int]int) int {
+	t := 0
+	//lint:ignore mapdeterminism summing commutes; iteration order cannot reach the result
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,71 @@
+// Package guards is the nilrecv fixture; the fixture policy lists only
+// type Thing.
+package guards
+
+// Thing follows the nil-safe contract.
+type Thing struct{ n int }
+
+// Guarded begins with the canonical guard.
+func (t *Thing) Guarded() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Flipped writes the comparison the other way around.
+func (t *Thing) Flipped() int {
+	if nil != t {
+		return t.n
+	}
+	return 0
+}
+
+// Enabled uses the return-expression guard form.
+func (t *Thing) Enabled() bool { return t != nil }
+
+// Compound guards as part of a larger condition.
+func (t *Thing) Compound(deep bool) int {
+	if t == nil || !deep {
+		return 0
+	}
+	return t.n
+}
+
+// Bare lacks the guard: flagged.
+func (t *Thing) Bare() int { // want nilrecv "must begin with a nil-receiver guard"
+	return t.n
+}
+
+// LateGuard checks nil only on the second statement: flagged.
+func (t *Thing) LateGuard() int { // want nilrecv "must begin with a nil-receiver guard"
+	n := 1
+	if t == nil {
+		return n
+	}
+	return t.n + n
+}
+
+// unexported methods are outside the contract.
+func (t *Thing) bare() int { return t.n }
+
+// ByValue receivers copy and cannot be guarded; exempt.
+func (t Thing) ByValue() int { return t.n }
+
+// Justified explains why its guard lives elsewhere.
+//
+//lint:ignore nilrecv fixture: delegates immediately to a guarded helper
+func (t *Thing) Justified() int { return t.helper() }
+
+func (t *Thing) helper() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Gadget is not in the policy; nothing on it is checked.
+type Gadget struct{ n int }
+
+// Bare on an unlisted type passes.
+func (g *Gadget) Bare() int { return g.n }

@@ -1,0 +1,17 @@
+// Package iosim is the fixture's stand-in for the simulated disk: the
+// mutexhygiene analyzer treats calls into it as I/O.
+package iosim
+
+// File is a stub paged file.
+type File struct{ pages [][]byte }
+
+// Open returns an empty file.
+func Open() *File { return &File{} }
+
+// ReadPage returns page i or nil.
+func (f *File) ReadPage(i int) []byte {
+	if i < 0 || i >= len(f.pages) {
+		return nil
+	}
+	return f.pages[i]
+}

@@ -1,0 +1,70 @@
+// Package locks is the mutexhygiene fixture: it is in the fixture
+// policy's scrape-lock-free scope and fixture/internal/iosim is the
+// forbidden callee.
+package locks
+
+import (
+	"sync"
+
+	"fixture/internal/iosim"
+)
+
+// Store pairs a lock with a simulated file.
+type Store struct {
+	mu sync.Mutex
+	f  *iosim.File
+}
+
+// Bad reads the simulated disk with the lock held: flagged.
+func (s *Store) Bad() []byte {
+	s.mu.Lock()
+	page := s.f.ReadPage(0) // want mutexhygiene "while holding a mutex"
+	s.mu.Unlock()
+	return page
+}
+
+// BadDefer holds the lock for the whole function via defer: the read
+// really happens under the lock, so it is flagged.
+func (s *Store) BadDefer() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.ReadPage(0) // want mutexhygiene "while holding a mutex"
+}
+
+// Good releases before reading.
+func (s *Store) Good() []byte {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.f.ReadPage(0)
+}
+
+// Handler returns a closure: the closure body is its own scope and
+// does not run under the definition site's lock state.
+func (s *Store) Handler() func() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() []byte { return s.f.ReadPage(1) }
+}
+
+// CopyParam passes a mutex by value: flagged.
+func CopyParam(mu sync.Mutex) int { // want mutexhygiene "by value"
+	_ = mu
+	return 0
+}
+
+// CopyStruct passes a lock-bearing struct by value: flagged.
+func CopyStruct(s Store) int { // want mutexhygiene "by value"
+	_ = s
+	return 0
+}
+
+// PointerParam is the correct shape.
+func PointerParam(mu *sync.Mutex) { mu.Lock(); mu.Unlock() }
+
+// Justified suppresses a deliberate hold with a reason.
+func (s *Store) Justified() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore mutexhygiene fixture: deliberate hold to exercise suppression
+	return s.f.ReadPage(2)
+}

@@ -44,7 +44,11 @@ func WithExporterClock(now func() time.Time) ExporterOption {
 
 // NewExporter creates an exporter over col (which may be nil).
 func NewExporter(col *telemetry.Collector, opts ...ExporterOption) *Exporter {
-	e := &Exporter{col: col, now: time.Now}
+	// Rate gauges are wall-clock by design: they divide counter deltas
+	// by real elapsed scrape time. Nothing byte-stable consumes them
+	// (benchreport reads counters, not rates), and tests substitute
+	// WithExporterClock.
+	e := &Exporter{col: col, now: time.Now} //lint:ignore wallclock inter-scrape rate windows are real elapsed time; deterministic consumers inject WithExporterClock
 	for _, o := range opts {
 		o(e)
 	}
@@ -53,8 +57,12 @@ func NewExporter(col *telemetry.Collector, opts ...ExporterOption) *Exporter {
 
 // WriteMetrics takes a snapshot, renders it with rate gauges against the
 // previous scrape, and remembers it for the next one. The first scrape
-// has no rate window and exports totals only.
+// has no rate window and exports totals only. A nil exporter writes
+// nothing — the same disabled-path contract as a nil collector.
 func (e *Exporter) WriteMetrics(w io.Writer) error {
+	if e == nil {
+		return nil
+	}
 	s := e.col.Snapshot()
 	now := e.now()
 
@@ -74,8 +82,13 @@ func (e *Exporter) WriteMetrics(w io.Writer) error {
 	return fs.write(w)
 }
 
-// ServeHTTP implements the /metrics endpoint.
+// ServeHTTP implements the /metrics endpoint. A nil exporter answers
+// 503 instead of panicking, keeping accidental nil wiring observable.
 func (e *Exporter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if e == nil {
+		http.Error(w, "metrics: nil exporter", http.StatusServiceUnavailable)
+		return
+	}
 	w.Header().Set("Content-Type", ContentType)
 	if err := e.WriteMetrics(w); err != nil {
 		// Headers are gone; all we can do is drop the connection early.

@@ -18,10 +18,10 @@ package telemetry
 // histograms sorted by name, trace in ascending Seq order), so a Diff
 // is itself a valid Snapshot for any Sink.
 func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
-	out := &Snapshot{}
 	if s == nil {
-		return out
+		return &Snapshot{}
 	}
+	out := &Snapshot{}
 	if prev == nil {
 		prev = &Snapshot{}
 	}

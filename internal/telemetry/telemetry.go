@@ -365,10 +365,10 @@ const maxInt64 = int64(^uint64(0) >> 1)
 // is a consistent-enough view for reporting, not a serializable
 // transaction). A nil collector returns an empty snapshot.
 func (c *Collector) Snapshot() *Snapshot {
-	s := &Snapshot{}
 	if c == nil {
-		return s
+		return &Snapshot{}
 	}
+	s := &Snapshot{}
 	c.mu.Lock()
 	counters := make([]*Counter, 0, len(c.counters))
 	for _, ct := range c.counters {
