@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json lint lint-report
+.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json bench-prefilter lint lint-report
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test: build
 # snapshots). It finishes with the two observability smokes: the
 # self-driving textjoind endpoint check and the baseline-checked
 # benchmark grid.
-verify: obs-smoke bench-json
+verify: obs-smoke bench-json bench-prefilter
 	$(GO) vet ./...
 	$(GO) run ./cmd/lintcheck
 	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/... ./internal/telemetry/... ./internal/metrics/... ./cmd/textjoind/...
@@ -70,3 +70,12 @@ obs-smoke:
 # fails if any cell regressed against the checked-in baseline.
 bench-json:
 	$(GO) run ./cmd/benchreport -q -json BENCH_PR4.json -baseline BENCH_BASELINE.json -calibrate -calreport CALIBRATION_PR4.md
+
+# bench-prefilter runs the signature-prefilter grid: clustered shapes,
+# each cell with the filter off and on. The run itself fails if any
+# on-cell's result hash differs from its off-cell (signatures may only
+# skip, never admit), and the baseline gate fails if the measured I/O
+# or skip counters drift from the checked-in BENCH_PR6.json. Regenerate
+# the baseline with: go run ./cmd/benchreport -prefilter -json BENCH_PR6.json
+bench-prefilter:
+	$(GO) run ./cmd/benchreport -prefilter -q -baseline BENCH_PR6.json

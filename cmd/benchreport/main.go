@@ -30,6 +30,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "compare against this baseline report; exit non-zero on regression")
 	tolerance := flag.Float64("tolerance", 0, "relative deviation tolerated by the baseline comparison (0 = exact)")
 	calibrate := flag.Bool("calibrate", false, "audit cost-model calibration and include it in the report")
+	prefilter := flag.Bool("prefilter", false, "run the signature-prefilter grid (clustered shapes, cells with the filter off and on) instead of the main grid")
 	calReport := flag.String("calreport", "", "write the calibration report to this file (implies -calibrate)")
 	quiet := flag.Bool("q", false, "suppress the human-readable table")
 	flag.Int64Var(&cfg.Scale, "scale", cfg.Scale, "profile shrink divisor")
@@ -48,12 +49,20 @@ func main() {
 		fatal(err)
 	}
 
-	report, err := runGrid(cfg, *calibrate)
+	var report *Report
+	if *prefilter {
+		report, err = runPrefilterGrid(cfg)
+	} else {
+		report, err = runGrid(cfg, *calibrate)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	if !*quiet {
 		writeHuman(os.Stdout, report)
+		if *prefilter {
+			writePrefilterSummary(os.Stdout, report)
+		}
 	}
 
 	if *jsonPath != "" {

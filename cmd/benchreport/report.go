@@ -60,6 +60,12 @@ type Cell struct {
 	EntryFetches  int64   `json:"entry_fetches"`
 	CacheHits     int64   `json:"cache_hits"`
 	CacheMisses   int64   `json:"cache_misses"`
+	// Prefilter counters; only the prefilter grid's "+pf" cells carry
+	// non-zero values.
+	PagesSkipped    int64 `json:"pages_skipped,omitempty"`
+	ClustersSkipped int64 `json:"clusters_skipped,omitempty"`
+	DocsSkipped     int64 `json:"docs_skipped,omitempty"`
+	FalsePasses     int64 `json:"false_passes,omitempty"`
 	// ResultsHash fingerprints the full result set, so the baseline
 	// comparison also catches correctness regressions (and proves the
 	// parallel variants produce serial-identical output).
@@ -400,6 +406,9 @@ func compare(cur, base *Report, tolerance float64) []string {
 		check("entry_fetches", float64(c.EntryFetches), float64(b.EntryFetches))
 		check("cache_hits", float64(c.CacheHits), float64(b.CacheHits))
 		check("cache_misses", float64(c.CacheMisses), float64(b.CacheMisses))
+		check("pages_skipped", float64(c.PagesSkipped), float64(b.PagesSkipped))
+		check("docs_skipped", float64(c.DocsSkipped), float64(b.DocsSkipped))
+		check("false_passes", float64(c.FalsePasses), float64(b.FalsePasses))
 		if c.ResultsHash != b.ResultsHash {
 			out = append(out, fmt.Sprintf("%s: results hash %s, baseline %s", b.key(), c.ResultsHash, b.ResultsHash))
 		}

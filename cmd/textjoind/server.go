@@ -45,14 +45,15 @@ func defaultConfig() config {
 // but /metrics, /traces and /healthz never take the join lock — scrapes
 // stay responsive while a join runs.
 type server struct {
-	cfg      config
-	ws       *textjoin.Workspace
-	c1, c2   *textjoin.Collection
-	inv1     *textjoin.InvertedFile
-	inv2     *textjoin.InvertedFile
-	tel      *textjoin.Telemetry
-	exporter *textjoin.MetricsExporter
-	start    time.Time
+	cfg        config
+	ws         *textjoin.Workspace
+	c1, c2     *textjoin.Collection
+	inv1       *textjoin.InvertedFile
+	inv2       *textjoin.InvertedFile
+	sig1, sig2 *textjoin.SignatureSidecar
+	tel        *textjoin.Telemetry
+	exporter   *textjoin.MetricsExporter
+	start      time.Time
 
 	joinMu sync.Mutex
 	joins  atomic.Int64
@@ -85,6 +86,14 @@ func newServer(cfg config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	sig1, err := ws.BuildSignatures(c1, textjoin.SignatureConfig{})
+	if err != nil {
+		return nil, err
+	}
+	sig2, err := ws.BuildSignatures(c2, textjoin.SignatureConfig{})
+	if err != nil {
+		return nil, err
+	}
 
 	tel := textjoin.NewTelemetry(telemetry.WithTraceCap(cfg.TraceCap))
 	ws.ResetIOStats()
@@ -96,6 +105,8 @@ func newServer(cfg config) (*server, error) {
 		c2:       c2,
 		inv1:     inv1,
 		inv2:     inv2,
+		sig1:     sig1,
+		sig2:     sig2,
 		tel:      tel,
 		exporter: textjoin.NewMetricsExporter(tel),
 		start:    time.Now(),
@@ -138,18 +149,27 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // joinResponse is the /join reply.
 type joinResponse struct {
-	Algorithm   string       `json:"algorithm"`
-	Integrated  bool         `json:"integrated"`
-	Workers     int          `json:"workers"`
-	Lambda      int          `json:"lambda"`
-	OuterDocs   int64        `json:"outer_docs"`
-	InnerDocs   int64        `json:"inner_docs"`
-	Passes      int          `json:"passes"`
-	SeqReads    int64        `json:"seq_reads"`
-	RandReads   int64        `json:"rand_reads"`
-	Cost        float64      `json:"cost"`
-	WallSeconds float64      `json:"wall_seconds"`
-	Results     []joinResult `json:"results,omitempty"`
+	Algorithm   string          `json:"algorithm"`
+	Integrated  bool            `json:"integrated"`
+	Workers     int             `json:"workers"`
+	Lambda      int             `json:"lambda"`
+	OuterDocs   int64           `json:"outer_docs"`
+	InnerDocs   int64           `json:"inner_docs"`
+	Passes      int             `json:"passes"`
+	SeqReads    int64           `json:"seq_reads"`
+	RandReads   int64           `json:"rand_reads"`
+	Cost        float64         `json:"cost"`
+	WallSeconds float64         `json:"wall_seconds"`
+	Prefilter   *prefilterStats `json:"prefilter,omitempty"`
+	Results     []joinResult    `json:"results,omitempty"`
+}
+
+// prefilterStats reports the signature prefilter's pruning outcome.
+type prefilterStats struct {
+	PagesSkipped    int64 `json:"pages_skipped"`
+	ClustersSkipped int64 `json:"clusters_skipped"`
+	DocsSkipped     int64 `json:"docs_skipped"`
+	FalsePasses     int64 `json:"false_passes"`
 }
 
 type joinResult struct {
@@ -165,7 +185,9 @@ type joinMatch struct {
 // handleJoin runs one join. Parameters: alg (auto, hhnl, hvnl, vvm;
 // default auto), lambda, workers (>1 selects the parallel variant of an
 // explicit algorithm), weighting (raw, cosine, tfidf), show (result rows
-// to include, default 3).
+// to include, default 3), prefilter (on, off; default off) to offer the
+// signature sidecars to the join — results are byte-identical either
+// way, only the I/O pattern changes.
 func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	algName := param(r, "alg", "auto")
 	lambda, err := intParam(r, "lambda", s.cfg.Lambda)
@@ -191,6 +213,11 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	prefilter := param(r, "prefilter", "off")
+	if prefilter != "on" && prefilter != "off" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter prefilter: want on or off, got %q", prefilter))
+		return
+	}
 
 	in := textjoin.Inputs{Outer: s.c2, Inner: s.c1, InnerInv: s.inv1, OuterInv: s.inv2}
 	opts := textjoin.Options{
@@ -198,6 +225,9 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		MemoryPages: s.cfg.MemoryPages,
 		Weighting:   weighting,
 		Telemetry:   s.tel,
+	}
+	if prefilter == "on" {
+		opts.Prefilter = &textjoin.Prefilter{Inner: s.sig1, Outer: s.sig2}
 	}
 
 	resp := joinResponse{Workers: workers, Lambda: lambda}
@@ -244,6 +274,14 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	resp.RandReads = stats.IO.RandReads
 	resp.Cost = stats.Cost
 	resp.WallSeconds = time.Since(begin).Seconds()
+	if stats.Prefilter.Enabled {
+		resp.Prefilter = &prefilterStats{
+			PagesSkipped:    stats.Prefilter.PagesSkipped,
+			ClustersSkipped: stats.Prefilter.ClustersSkipped,
+			DocsSkipped:     stats.Prefilter.DocsSkipped,
+			FalsePasses:     stats.Prefilter.FalsePasses,
+		}
+	}
 	for i, res := range results {
 		if i >= show {
 			break

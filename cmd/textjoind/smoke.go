@@ -97,6 +97,27 @@ func runSmoke(cfg config, out io.Writer) error {
 			_, err := get("/join?alg=vvm&workers=4&show=0")
 			return err
 		}},
+		{"join prefilter", func() error {
+			body, err := get("/join?alg=hhnl&prefilter=on&show=0")
+			if err != nil {
+				return err
+			}
+			var j joinResponse
+			if err := json.Unmarshal(body, &j); err != nil {
+				return err
+			}
+			if j.Prefilter == nil {
+				return fmt.Errorf("prefilter=on reply carries no prefilter stats: %s", body)
+			}
+			body, err = get("/metrics")
+			if err != nil {
+				return err
+			}
+			if !strings.Contains(string(body), "textjoin_prefilter_") {
+				return fmt.Errorf("exposition lacks textjoin_prefilter_ counters")
+			}
+			return nil
+		}},
 		{"metrics scrape", func() error {
 			body, err := get("/metrics")
 			if err != nil {

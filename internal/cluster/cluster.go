@@ -125,12 +125,12 @@ func IdentityOrder(n int) []int {
 // Reorder builds a new collection whose storage order follows the given
 // permutation of src's documents; ids are re-assigned densely. It returns
 // the new collection and the mapping from new id to original id.
-func Reorder(name string, file *iosim.File, src *collection.Collection, order []int) (*collection.Collection, []uint32, error) {
+func Reorder(name string, file *iosim.File, src *collection.Collection, order []int) (*collection.Collection, IDMap, error) {
 	b, err := collection.NewBuilder(name, file)
 	if err != nil {
 		return nil, nil, err
 	}
-	origIDs := make([]uint32, 0, len(order))
+	origIDs := make(IDMap, 0, len(order))
 	for newID, oldIdx := range order {
 		d, err := src.Fetch(uint32(oldIdx))
 		if err != nil {
@@ -149,9 +149,37 @@ func Reorder(name string, file *iosim.File, src *collection.Collection, order []
 	return c, origIDs, nil
 }
 
+// IDMap records a reordering's document renumbering: m[newID] == origID.
+// It travels with the reordered collection so results and postings can
+// be translated between the two layouts.
+type IDMap []uint32
+
+// Orig returns the original id of reordered document newID.
+func (m IDMap) Orig(newID uint32) uint32 { return m[newID] }
+
+// Apply rewrites ids (reordered-layout document ids) to original ids in
+// place and returns the slice for chaining.
+func (m IDMap) Apply(ids []uint32) []uint32 {
+	for i, id := range ids {
+		ids[i] = m[id]
+	}
+	return ids
+}
+
+// Inverse returns the reverse mapping: inv[origID] == newID. Composing
+// a map with its inverse is the identity, so applying Inverse to an
+// original layout's postings renumbers them for the reordered layout.
+func (m IDMap) Inverse() IDMap {
+	inv := make(IDMap, len(m))
+	for newID, origID := range m {
+		inv[origID] = uint32(newID)
+	}
+	return inv
+}
+
 // Clustered loads all documents of src, computes the greedy order and
 // materializes the reordered collection in one call.
-func Clustered(name string, file *iosim.File, src *collection.Collection) (*collection.Collection, []uint32, error) {
+func Clustered(name string, file *iosim.File, src *collection.Collection) (*collection.Collection, IDMap, error) {
 	docs, err := loadAll(src)
 	if err != nil {
 		return nil, nil, err

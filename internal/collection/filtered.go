@@ -1,0 +1,114 @@
+package collection
+
+import (
+	"io"
+
+	"textjoin/internal/document"
+)
+
+// FilteredScanner iterates a kept subset of the collection's documents
+// in storage order, reading only the pages the kept documents span.
+// It is the storage half of the signature prefilter: when whole pages
+// (or clusters of documents) are disqualified, the scanner never touches
+// them, so a skip saves real page reads — resuming after a gap costs one
+// random read, like any seek.
+type FilteredScanner struct {
+	c       *Collection
+	keep    func(id uint32) bool
+	next    int
+	curPage int64
+	page    []byte
+	scratch []byte
+	doc     document.Document
+	err     error
+}
+
+// ScanFiltered starts a storage-order scan that decodes only the
+// documents keep reports true for. A nil keep scans everything (but
+// Scan is cheaper for that — it never re-reads a page).
+func (c *Collection) ScanFiltered(keep func(id uint32) bool) *FilteredScanner {
+	return &FilteredScanner{c: c, keep: keep, curPage: -1}
+}
+
+// NextReuse returns the next kept document, or io.EOF when the scan is
+// complete. The returned document lives in the scanner's arena: it is
+// valid only until the next call; callers that retain it must Clone it.
+func (s *FilteredScanner) NextReuse() (*document.Document, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for {
+		if s.next >= len(s.c.refs) {
+			s.err = io.EOF
+			return nil, io.EOF
+		}
+		id := uint32(s.next)
+		ref := s.c.refs[s.next]
+		s.next++
+		if s.keep != nil && !s.keep(id) {
+			continue
+		}
+		ps := int64(s.c.stats.PageSize)
+		first := ref.Off / ps
+		last := (ref.Off + int64(ref.Len) - 1) / ps
+		var raw []byte
+		if first == last {
+			// Single-page record: decode straight out of the page. The
+			// one-page cache keeps a run of kept documents on the same
+			// page at one read.
+			pg, err := s.pageData(first)
+			if err != nil {
+				return nil, err
+			}
+			lo := ref.Off - first*ps
+			raw = pg[lo : lo+int64(ref.Len)]
+		} else {
+			s.scratch = s.scratch[:0]
+			for p := first; p <= last; p++ {
+				pg, err := s.pageData(p)
+				if err != nil {
+					return nil, err
+				}
+				lo, hi := int64(0), int64(len(pg))
+				if p == first {
+					lo = ref.Off - p*ps
+				}
+				if p == last {
+					hi = ref.Off + int64(ref.Len) - p*ps
+				}
+				s.scratch = append(s.scratch, pg[lo:hi]...)
+			}
+			raw = s.scratch
+		}
+		if _, err := document.DecodeInto(&s.doc, raw); err != nil {
+			s.err = err
+			return nil, err
+		}
+		return &s.doc, nil
+	}
+}
+
+// Next returns the next kept document, freshly allocated and safe to
+// retain.
+func (s *FilteredScanner) Next() (*document.Document, error) {
+	d, err := s.NextReuse()
+	if err != nil {
+		return nil, err
+	}
+	return d.Clone(), nil
+}
+
+// pageData reads page p, serving repeats of the most recent page from
+// the cached slice (iosim pages are stable, so the alias is safe).
+func (s *FilteredScanner) pageData(p int64) ([]byte, error) {
+	if p == s.curPage {
+		return s.page, nil
+	}
+	pg, err := s.c.file.ReadPage(p)
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	s.curPage, s.page = p, pg
+	return pg, nil
+}

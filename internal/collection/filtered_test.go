@@ -1,0 +1,143 @@
+package collection
+
+import (
+	"io"
+	"testing"
+
+	"textjoin/internal/document"
+	"textjoin/internal/iosim"
+)
+
+// TestScanFiltered pins the filtered scan against the plain scan for
+// several keep predicates, including multi-page records and keep-gaps
+// spanning pages.
+func TestScanFiltered(t *testing.T) {
+	d := iosim.NewDisk(iosim.WithPageSize(64))
+	f, err := d.Create("c.col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBuilder("c", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		counts := map[uint32]int{}
+		// Vary sizes: some docs span multiple 64-byte pages.
+		for j := 0; j <= (i*7)%23; j++ {
+			counts[uint32(i*31+j)] = 1 + j%3
+		}
+		if err := b.Add(document.New(uint32(i), counts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make(map[uint32]*document.Document)
+	sc := c.Scan()
+	for {
+		doc, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[doc.ID] = doc
+	}
+
+	keeps := map[string]func(uint32) bool{
+		"all":       nil,
+		"none":      func(uint32) bool { return false },
+		"even":      func(id uint32) bool { return id%2 == 0 },
+		"sparse":    func(id uint32) bool { return id%7 == 3 },
+		"tail-half": func(id uint32) bool { return id >= n/2 },
+	}
+	for name, keep := range keeps {
+		fs := c.ScanFiltered(keep)
+		seen := 0
+		for {
+			doc, err := fs.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if keep != nil && !keep(doc.ID) {
+				t.Fatalf("%s: yielded filtered-out doc %d", name, doc.ID)
+			}
+			w := want[doc.ID]
+			if len(doc.Cells) != len(w.Cells) {
+				t.Fatalf("%s: doc %d has %d cells, want %d", name, doc.ID, len(doc.Cells), len(w.Cells))
+			}
+			for i, cell := range doc.Cells {
+				if cell != w.Cells[i] {
+					t.Fatalf("%s: doc %d cell %d = %+v, want %+v", name, doc.ID, i, cell, w.Cells[i])
+				}
+			}
+			seen++
+		}
+		wantSeen := 0
+		for id := uint32(0); id < n; id++ {
+			if keep == nil || keep(id) {
+				wantSeen++
+			}
+		}
+		if seen != wantSeen {
+			t.Fatalf("%s: yielded %d docs, want %d", name, seen, wantSeen)
+		}
+	}
+}
+
+// TestScanFilteredReadsFewerPages pins the point of the filter: skipping
+// documents must skip their pages.
+func TestScanFilteredReadsFewerPages(t *testing.T) {
+	d := iosim.NewDisk(iosim.WithPageSize(64))
+	f, err := d.Create("c.col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBuilder("c", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		counts := map[uint32]int{}
+		for j := 0; j < 12; j++ {
+			counts[uint32(i*100+j)] = 1
+		}
+		if err := b.Add(document.New(uint32(i), counts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drain := func(keep func(uint32) bool) iosim.Stats {
+		d.ResetStats()
+		f.ParkHead()
+		fs := c.ScanFiltered(keep)
+		for {
+			if _, err := fs.NextReuse(); err != nil {
+				break
+			}
+		}
+		return d.Stats()
+	}
+	full := drain(nil)
+	half := drain(func(id uint32) bool { return id < 8 })
+	if half.Reads() >= full.Reads() {
+		t.Fatalf("filtered scan read %d pages, full scan %d — no saving", half.Reads(), full.Reads())
+	}
+	none := drain(func(uint32) bool { return false })
+	if none.Reads() != 0 {
+		t.Fatalf("empty keep read %d pages, want 0", none.Reads())
+	}
+}

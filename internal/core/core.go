@@ -124,6 +124,12 @@ type Options struct {
 	// near-zero overhead; enabling it never changes results or Stats,
 	// which the differential test harness pins.
 	Telemetry *telemetry.Collector
+	// Prefilter supplies signature sidecars for pruning provably
+	// zero-similarity work from HHNL and HVNL (VVM's merge already
+	// touches only co-occurring terms and ignores it). nil disables
+	// pruning. Signatures only ever prove non-overlap, so prefiltered
+	// results are byte-identical to unfiltered ones.
+	Prefilter *Prefilter
 }
 
 // withDefaults fills in the paper's base values.
@@ -172,6 +178,9 @@ type Stats struct {
 	Cache entrycache.Stats
 	// PeakMemoryBytes is the maximum working-set estimate observed.
 	PeakMemoryBytes int64
+	// Prefilter reports the signature pruning outcome when
+	// Options.Prefilter was set.
+	Prefilter PrefilterStats
 }
 
 // Inputs bundles the representations available to the join. Every
@@ -250,15 +259,21 @@ func recordJoinStats(tel *telemetry.Collector, st *Stats) {
 		return
 	}
 	p := "join." + strings.ToLower(st.Algorithm.String())
-	tel.Counter(p+".outer_docs").Add(st.OuterDocs)
-	tel.Counter(p+".inner_docs").Add(st.InnerDocs)
-	tel.Counter(p+".comparisons").Add(st.Comparisons)
-	tel.Counter(p+".accumulations").Add(st.Accumulations)
-	tel.Counter(p+".entry_fetches").Add(st.EntryFetches)
-	tel.Counter(p+".passes").Add(int64(st.Passes))
-	tel.Counter(p+".io.seq").Add(st.IO.SeqReads)
-	tel.Counter(p+".io.rand").Add(st.IO.RandReads)
-	tel.Counter(p+".peak_bytes").Add(st.PeakMemoryBytes)
+	tel.Counter(p + ".outer_docs").Add(st.OuterDocs)
+	tel.Counter(p + ".inner_docs").Add(st.InnerDocs)
+	tel.Counter(p + ".comparisons").Add(st.Comparisons)
+	tel.Counter(p + ".accumulations").Add(st.Accumulations)
+	tel.Counter(p + ".entry_fetches").Add(st.EntryFetches)
+	tel.Counter(p + ".passes").Add(int64(st.Passes))
+	tel.Counter(p + ".io.seq").Add(st.IO.SeqReads)
+	tel.Counter(p + ".io.rand").Add(st.IO.RandReads)
+	tel.Counter(p + ".peak_bytes").Add(st.PeakMemoryBytes)
+	if st.Prefilter.Enabled {
+		tel.Counter(p + ".prefilter.pages_skipped").Add(st.Prefilter.PagesSkipped)
+		tel.Counter(p + ".prefilter.clusters_skipped").Add(st.Prefilter.ClustersSkipped)
+		tel.Counter(p + ".prefilter.docs_skipped").Add(st.Prefilter.DocsSkipped)
+		tel.Counter(p + ".prefilter.false_passes").Add(st.Prefilter.FalsePasses)
+	}
 }
 
 // alpha returns the cost ratio of the disk backing the first non-nil file.

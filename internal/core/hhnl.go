@@ -7,6 +7,7 @@ import (
 	"textjoin/internal/collection"
 	"textjoin/internal/document"
 	"textjoin/internal/iosim"
+	"textjoin/internal/signature"
 	"textjoin/internal/telemetry"
 	"textjoin/internal/topk"
 )
@@ -29,6 +30,12 @@ import (
 // With Options.Backward the loop order flips (an extension the paper
 // defers to the technical report): blocks of C1 are held in memory while
 // C2 is scanned once per block, with all C2 trackers kept across blocks.
+//
+// With Options.Prefilter the inner scan of each batch skips clusters,
+// pages and documents whose aggregate signatures are disjoint from the
+// batch's OR-signature — a provably zero similarity for every resident
+// outer document, so results are byte-identical. The backward variant
+// ignores the prefilter (its resident side is the inner collection).
 func JoinHHNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -71,6 +78,19 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 	budget, slotBytes, err := hhnlBatchBytes(in, opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	pf, err := activePrefilter(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		sigCfg signature.Config
+		q      signature.Sig
+		need   []bool
+	)
+	if pf != nil {
+		stats.Prefilter.Enabled = true
+		sigCfg = pf.Inner.Config()
 	}
 	track := trackIO(in.Outer.File(), in.Inner.File())
 	tel := opts.Telemetry
@@ -125,23 +145,45 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 		for i := range trackers {
 			trackers[i] = topk.New(opts.Lambda)
 		}
+		// With a prefilter, disqualify inner clusters, pages and
+		// documents against the batch's OR-signature before the scan —
+		// the filtered scan then never reads the skipped pages.
+		var nextInner func() (*document.Document, error)
+		if pf != nil {
+			filter := tel.StartSpan(telemetry.PhaseScan, "hhnl.prefilter")
+			q = batchSig(sigCfg, batch, q)
+			need, err = sidecarNeed(pf.Inner, in.Inner, q, need, &stats.Prefilter)
+			filter.End()
+			if err != nil {
+				return nil, nil, err
+			}
+			nextInner = in.Inner.ScanFiltered(func(id uint32) bool { return need[id] }).NextReuse
+		} else {
+			nextInner = in.Inner.Scan().NextReuse
+		}
 		// One full scan of the inner collection per batch. Each inner
 		// document is consumed before the next is read, so the scan's
 		// reuse arena suffices — the hot loop allocates nothing.
 		score := tel.StartSpan(telemetry.PhaseScore, "hhnl.inner-scan")
-		inner := in.Inner.Scan()
 		for {
-			d1, err := inner.NextReuse()
+			d1, err := nextInner()
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
 				return nil, nil, err
 			}
+			anyHit := false
 			for i, d2 := range batch {
 				sim := scorer.Score(d2, d1)
 				stats.Comparisons++
+				if sim != 0 {
+					anyHit = true
+				}
 				trackers[i].Offer(d1.ID, sim)
+			}
+			if pf != nil && !anyHit {
+				stats.Prefilter.FalsePasses++
 			}
 		}
 		score.End()

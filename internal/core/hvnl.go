@@ -50,6 +50,10 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	pf, err := activePrefilter(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	invFile := in.InnerInv.File()
 	var treeFile *iosim.File
@@ -92,6 +96,9 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 	cache.SetTelemetry(tel)
 
 	stats := &Stats{Algorithm: HVNL, InnerDocs: in.Inner.NumDocs()}
+	if pf != nil {
+		stats.Prefilter.Enabled = true
+	}
 
 	// Paper, first regime of hvs: when memory holds all inverted file
 	// entries (X ≥ T1), "we can either read in the entire inverted file
@@ -136,19 +143,55 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 	var ordered []document.Cell // reusable cached-first ordering scratch
 	occupancy := tel.Histogram("hvnl.accum.occupancy", telemetry.DefaultSizeBuckets)
 
-	// Each outer document is fully processed before the next is read, so
-	// the reuse path applies: one arena document for the whole sweep.
-	probe := tel.StartSpan(telemetry.PhaseProbe, "hvnl.outer-sweep")
-	outer := in.Outer.Documents()
-	for {
-		d2, err := collection.NextReuse(outer)
-		if err == io.EOF {
-			break
-		}
+	// With a prefilter, candidate outer documents whose signature is
+	// disjoint from the inner root aggregate are skipped before the
+	// probe: their result row is empty by proof, and (with an outer
+	// sidecar) their pages are never read.
+	var opf *outerPrefilter
+	if pf != nil {
+		filter := tel.StartSpan(telemetry.PhaseSetup, "hvnl.prefilter")
+		opf, err = newOuterPrefilter(in, pf, stats)
+		filter.End()
 		if err != nil {
 			return nil, nil, err
 		}
+	}
+
+	// Each outer document is fully processed before the next is read, so
+	// the reuse path applies: one arena document for the whole sweep.
+	probe := tel.StartSpan(telemetry.PhaseProbe, "hvnl.outer-sweep")
+	var outer collection.DocIterator
+	if opf == nil {
+		outer = in.Outer.Documents()
+	}
+	for {
+		var d2 *document.Document
+		if opf != nil {
+			var skippedID uint32
+			var skipped bool
+			d2, skippedID, skipped, err = opf.next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			if skipped {
+				stats.OuterDocs++
+				results = append(results, Result{Outer: skippedID, Matches: emptyMatches()})
+				continue
+			}
+		} else {
+			d2, err = collection.NextReuse(outer)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+		}
 		stats.OuterDocs++
+		accBefore := stats.Accumulations
 
 		// Order terms: cached entries first (the paper's reuse
 		// optimization), then the rest in term order. Cells are already
@@ -192,6 +235,9 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 			stats.Accumulations += int64(len(entry.Cells))
 		}
 
+		if pf != nil && stats.Accumulations == accBefore {
+			stats.Prefilter.FalsePasses++
+		}
 		occupancy.Observe(int64(acc.Len()))
 		tk := topk.New(opts.Lambda)
 		acc.ForEach(func(d1 uint32, raw float64) {

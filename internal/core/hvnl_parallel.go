@@ -80,6 +80,10 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 	if err != nil {
 		return nil, nil, err
 	}
+	pf, err := activePrefilter(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	invFile := in.InnerInv.File()
 	var treeFile *iosim.File
@@ -112,6 +116,9 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 	cache.SetTelemetry(tel)
 
 	stats := &Stats{Algorithm: HVNL, InnerDocs: in.Inner.NumDocs()}
+	if pf != nil {
+		stats.Prefilter.Enabled = true
+	}
 
 	// Sequential-preload regime, decided and performed exactly as serial.
 	invStats := in.InnerInv.Stats()
@@ -202,18 +209,57 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		routed = make([]int64, nWorkers)
 	}
 
-	probe := tel.StartSpan(telemetry.PhaseProbe, "hvnlp.outer-sweep")
-	outer := in.Outer.Documents()
-	for {
-		d2, err := collection.NextReuse(outer)
-		if err == io.EOF {
-			break
-		}
+	// Prefilter decisions run on the coordinator exactly as in serial
+	// HVNL: same keep vector, same skipped reads, same counters. A
+	// skipped document's slot is appended with nothing routed — no
+	// worker ever flushes into it, so the merge yields the same empty
+	// row the serial skip fabricates.
+	var opf *outerPrefilter
+	if pf != nil {
+		filter := tel.StartSpan(telemetry.PhaseSetup, "hvnlp.prefilter")
+		opf, err = newOuterPrefilter(in, pf, stats)
+		filter.End()
 		if err != nil {
 			finish()
 			return nil, nil, err
 		}
+	}
+
+	probe := tel.StartSpan(telemetry.PhaseProbe, "hvnlp.outer-sweep")
+	var outer collection.DocIterator
+	if opf == nil {
+		outer = in.Outer.Documents()
+	}
+	for {
+		var d2 *document.Document
+		if opf != nil {
+			var skippedID uint32
+			var skipped bool
+			d2, skippedID, skipped, err = opf.next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				finish()
+				return nil, nil, err
+			}
+			if skipped {
+				stats.OuterDocs++
+				slots = append(slots, &hvnlDocSlot{outer: skippedID, perWorker: make([][]Match, nWorkers)})
+				continue
+			}
+		} else {
+			d2, err = collection.NextReuse(outer)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				finish()
+				return nil, nil, err
+			}
+		}
 		stats.OuterDocs++
+		accBefore := stats.Accumulations
 
 		// Cached-entries-first term order, exactly as serial.
 		ordered = ordered[:0]
@@ -270,6 +316,9 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 			stats.Accumulations += int64(len(entry.Cells))
 		}
 
+		if pf != nil && stats.Accumulations == accBefore {
+			stats.Prefilter.FalsePasses++
+		}
 		slot := &hvnlDocSlot{outer: d2.ID, perWorker: make([][]Match, nWorkers)}
 		slots = append(slots, slot)
 		for wk := 0; wk < nWorkers; wk++ {

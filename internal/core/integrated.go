@@ -59,6 +59,9 @@ func ModelSystem(in Inputs, opts Options) costmodel.System {
 type Decision struct {
 	Chosen    Algorithm
 	Estimates []costmodel.Estimate
+	// Prefiltered marks that the winning plan uses the signature
+	// prefilter (only possible when Options.Prefilter was supplied).
+	Prefiltered bool
 }
 
 // Choose runs only the selection step of the integrated algorithm: it
@@ -98,6 +101,28 @@ func Choose(in Inputs, opts Options) (Decision, error) {
 			bestCost = e.Seq
 		}
 	}
+	// With sidecars on offer, the prefiltered HHNL/HVNL variants compete
+	// too: their estimates discount the measured skip fractions and
+	// charge the sidecar load. A strict win is required — on a tie the
+	// unfiltered plan (no sidecar dependency) stands.
+	pf, err := activePrefilter(in, opts)
+	if err != nil {
+		return Decision{}, err
+	}
+	if pf != nil {
+		pests := costmodel.EstimateAllPrefilter(mi, sys, q, measurePrefilter(pf))
+		dec.Estimates = append(dec.Estimates, pests...)
+		for _, e := range pests {
+			if !available(e.Algorithm) {
+				continue
+			}
+			if e.Seq < bestCost {
+				best = e.Algorithm
+				bestCost = e.Seq
+				dec.Prefiltered = true
+			}
+		}
+	}
 	switch best {
 	case costmodel.AlgHHNL:
 		dec.Chosen = HHNL
@@ -126,10 +151,18 @@ func recordPlan(tel *telemetry.Collector, dec Decision) {
 	}
 	for _, e := range dec.Estimates {
 		name := strings.ToLower(e.Algorithm.String())
+		if e.Prefiltered {
+			// Four-part names are ignored by costmodel.PlanSamples, so
+			// calibration keeps pairing only the unfiltered estimates.
+			name += ".prefilter"
+		}
 		tel.Event(telemetry.PhasePlan, "estimate."+name+".seq", costUnits(e.Seq))
 		tel.Event(telemetry.PhasePlan, "estimate."+name+".rand", costUnits(e.Rand))
 	}
 	tel.Counter("plan.chosen." + strings.ToLower(dec.Chosen.String())).Add(1)
+	if dec.Prefiltered {
+		tel.Counter("plan.prefilter.on").Add(1)
+	}
 }
 
 // JoinIntegrated implements the paper's integrated algorithm: estimate the
@@ -145,6 +178,11 @@ func JoinIntegrated(in Inputs, opts Options) ([]Result, *Stats, Decision, error)
 		return nil, nil, dec, err
 	}
 	recordPlan(tel, dec)
+	if !dec.Prefiltered {
+		// The unfiltered plan won on estimated cost; run it without the
+		// filter so the measured cost matches the estimate.
+		opts.Prefilter = nil
+	}
 	results, stats, err := Join(dec.Chosen, in, opts)
 	if err == nil && tel != nil {
 		// Measured counterpart of the estimates above: the chosen

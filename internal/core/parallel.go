@@ -11,6 +11,7 @@ import (
 	"textjoin/internal/codec"
 	"textjoin/internal/document"
 	"textjoin/internal/invfile"
+	"textjoin/internal/signature"
 	"textjoin/internal/telemetry"
 	"textjoin/internal/topk"
 )
@@ -64,6 +65,19 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 	budget, slotBytes, err := hhnlBatchBytes(in, opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	pf, err := activePrefilter(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		sigCfg signature.Config
+		q      signature.Sig
+		need   []bool
+	)
+	if pf != nil {
+		stats.Prefilter.Enabled = true
+		sigCfg = pf.Inner.Config()
 	}
 	track := trackIO(in.Outer.File(), in.Inner.File())
 	tel := opts.Telemetry
@@ -130,6 +144,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 			workerTrackers[w] = ts
 		}
 		compCounts := make([]int64, nWorkers)
+		fpCounts := make([]int64, nWorkers)
 
 		chunks := make(chan *[]*document.Document, nWorkers)
 		var wg sync.WaitGroup
@@ -140,8 +155,16 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 				ts := workerTrackers[w]
 				for chunk := range chunks {
 					for _, d1 := range *chunk {
+						anyHit := false
 						for i, d2 := range batch {
-							ts[i].Offer(d1.ID, scorer.Score(d2, d1))
+							sim := scorer.Score(d2, d1)
+							if sim != 0 {
+								anyHit = true
+							}
+							ts[i].Offer(d1.ID, sim)
+						}
+						if !anyHit {
+							fpCounts[w]++
 						}
 					}
 					compCounts[w] += int64(len(*chunk)) * int64(len(batch))
@@ -151,13 +174,31 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 			}(w)
 		}
 
+		// Prefilter decisions happen on the coordinator, exactly as in
+		// the serial algorithm — same keep vector, same skipped pages.
+		var nextInner func() (*document.Document, error)
+		if pf != nil {
+			filter := tel.StartSpan(telemetry.PhaseScan, "hhnlp.prefilter")
+			var pfErr error
+			q = batchSig(sigCfg, batch, q)
+			need, pfErr = sidecarNeed(pf.Inner, in.Inner, q, need, &stats.Prefilter)
+			filter.End()
+			if pfErr != nil {
+				close(chunks)
+				wg.Wait()
+				return nil, nil, pfErr
+			}
+			nextInner = in.Inner.ScanFiltered(func(id uint32) bool { return need[id] }).Next
+		} else {
+			nextInner = in.Inner.Scan().Next
+		}
+
 		// Single-threaded sequential scan of the inner collection.
 		score := tel.StartSpan(telemetry.PhaseScore, "hhnlp.inner-scan")
 		var scanErr error
-		inner := in.Inner.Scan()
 		chunk := chunkPool.Get().(*[]*document.Document)
 		for {
-			d1, err := inner.Next()
+			d1, err := nextInner()
 			if err == io.EOF {
 				break
 			}
@@ -196,6 +237,13 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 			stats.Comparisons += c
 			if tel != nil {
 				tel.Counter(fmt.Sprintf("join.hhnl.worker.%d.comparisons", w)).Add(c)
+			}
+		}
+		if pf != nil {
+			// Each scanned inner document is counted by exactly one
+			// worker, so the sum matches the serial count.
+			for _, c := range fpCounts {
+				stats.Prefilter.FalsePasses += c
 			}
 		}
 	}

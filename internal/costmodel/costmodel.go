@@ -543,14 +543,17 @@ type Estimate struct {
 	Seq float64
 	// Rand is the worst-case cost (hhr/hvr/vvr).
 	Rand float64
+	// Prefiltered marks a signature-prefiltered plan variant (see
+	// EstimateAllPrefilter).
+	Prefiltered bool
 }
 
 // EstimateAll evaluates all six formulas.
 func EstimateAll(in Input, sys System, q Query) []Estimate {
 	return []Estimate{
-		{AlgHHNL, HHNLSeq(in, sys, q), HHNLRand(in, sys, q)},
-		{AlgHVNL, HVNLSeq(in, sys, q), HVNLRand(in, sys, q)},
-		{AlgVVM, VVMSeq(in, sys, q), VVMRand(in, sys, q)},
+		{Algorithm: AlgHHNL, Seq: HHNLSeq(in, sys, q), Rand: HHNLRand(in, sys, q)},
+		{Algorithm: AlgHVNL, Seq: HVNLSeq(in, sys, q), Rand: HVNLRand(in, sys, q)},
+		{Algorithm: AlgVVM, Seq: VVMSeq(in, sys, q), Rand: VVMRand(in, sys, q)},
 	}
 }
 

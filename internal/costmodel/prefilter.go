@@ -1,0 +1,106 @@
+package costmodel
+
+import "math"
+
+// Prefilter carries the measured pruning power of signature sidecars,
+// feeding the prefiltered plan estimates. The skip fractions and run
+// counts are measured against the sidecars at plan time (the signatures
+// are memory-resident, so measuring is CPU-only); the planner then
+// weighs the saved page reads against the one-time sidecar load and the
+// seek surcharge of a gappy scan.
+type Prefilter struct {
+	// SidecarPages is the one-time sequential cost of loading the
+	// sidecar file(s).
+	SidecarPages float64
+	// PageSkip is the fraction of C1 data pages an HHNL inner scan
+	// skips under the query signature.
+	PageSkip float64
+	// ScanRuns is the number of retained contiguous page runs per
+	// filtered inner scan: resuming after each gap costs one random
+	// read.
+	ScanRuns float64
+	// DocSkip is the fraction of C2 documents HVNL never probes (their
+	// signatures are disjoint from C1's root aggregate).
+	DocSkip float64
+	// OuterRuns is the number of retained runs of HVNL's filtered outer
+	// sweep.
+	OuterRuns float64
+}
+
+// filteredScanCost prices one sequential sweep of `pages` pages when a
+// skipFrac fraction is never read and the kept pages form `runs`
+// contiguous runs, each resuming with one random read.
+func filteredScanCost(pages, skipFrac, runs float64, sys System) float64 {
+	kept := pages * (1 - skipFrac)
+	if kept <= 0 {
+		return 0
+	}
+	cost := kept + runs*(sys.Alpha-1)
+	// Pruning can only remove reads; a gap-heavy layout must never be
+	// priced above the plain sweep it replaces.
+	return math.Min(cost, pages)
+}
+
+// HHNLPrefilterSeq is hhs with the inner scans priced under the page
+// skip fraction, plus the sidecar load.
+func HHNLPrefilterSeq(in Input, sys System, q Query, pf Prefilter) float64 {
+	in = in.normalize()
+	x := HHNLBatch(in, sys, q)
+	if x <= 0 {
+		return Infeasible
+	}
+	scans := math.Ceil(float64(in.C2.N) / x)
+	if in.C2.N == 0 {
+		scans = 0
+	}
+	inner := filteredScanCost(in.C1.D(sys), pf.PageSkip, pf.ScanRuns, sys)
+	return in.c2ReadCost(sys) + scans*inner + pf.SidecarPages
+}
+
+// HHNLPrefilterRand is hhr under the prefilter: the same contention
+// surcharge as HHNLRand on top of the prefiltered sequential cost.
+func HHNLPrefilterRand(in Input, sys System, q Query, pf Prefilter) float64 {
+	seq := HHNLPrefilterSeq(in, sys, q, pf)
+	if math.IsInf(seq, 1) {
+		return Infeasible
+	}
+	return seq + (HHNLRand(in, sys, q) - HHNLSeq(in, sys, q))
+}
+
+// hvnlPrefilterScale shrinks C2 to the unskipped fraction: a skipped
+// document is neither read nor probed.
+func hvnlPrefilterScale(in Input, pf Prefilter) Input {
+	scaled := in
+	scaled.C2.N = int64(math.Round((1 - pf.DocSkip) * float64(in.C2.N)))
+	return scaled
+}
+
+// HVNLPrefilterSeq is hvs over the unskipped outer documents, plus the
+// outer sweep's run resumptions and the sidecar load.
+func HVNLPrefilterSeq(in Input, sys System, q Query, pf Prefilter) float64 {
+	in = in.normalize()
+	base := HVNLSeq(hvnlPrefilterScale(in, pf), sys, q)
+	if math.IsInf(base, 1) {
+		return Infeasible
+	}
+	return base + pf.OuterRuns*(sys.Alpha-1) + pf.SidecarPages
+}
+
+// HVNLPrefilterRand is hvr under the prefilter.
+func HVNLPrefilterRand(in Input, sys System, q Query, pf Prefilter) float64 {
+	in = in.normalize()
+	base := HVNLRand(hvnlPrefilterScale(in, pf), sys, q)
+	if math.IsInf(base, 1) {
+		return Infeasible
+	}
+	return base + pf.OuterRuns*(sys.Alpha-1) + pf.SidecarPages
+}
+
+// EstimateAllPrefilter evaluates the prefiltered plan variants (VVM's
+// merge already touches only co-occurring terms, so it has none).
+func EstimateAllPrefilter(in Input, sys System, q Query, pf Prefilter) []Estimate {
+	return []Estimate{
+		{Algorithm: AlgHHNL, Seq: HHNLPrefilterSeq(in, sys, q, pf), Rand: HHNLPrefilterRand(in, sys, q, pf), Prefiltered: true},
+		{Algorithm: AlgHVNL, Seq: HVNLPrefilterSeq(in, sys, q, pf), Rand: HVNLPrefilterRand(in, sys, q, pf), Prefiltered: true},
+	}
+}

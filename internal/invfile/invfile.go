@@ -116,13 +116,53 @@ func Build(c *collection.Collection, entryFile, treeFile *iosim.File) (*Inverted
 		terms = append(terms, t)
 	}
 	sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+	return writeEntries(entryFile, treeFile, terms, func(t uint32) []codec.Cell { return postings[t] })
+}
 
+// BuildRemapped writes an inverted file equivalent to src with every
+// i-cell's document number rewritten through newID — the remap step of
+// the cluster-driven build path (cluster.Reorder renumbers documents;
+// the postings must follow, typically via IDMap.Inverse). src is scanned
+// sequentially once; each entry's cells are renumbered and re-sorted
+// into ascending new-id order.
+func BuildRemapped(src *InvertedFile, newID func(uint32) uint32, entryFile, treeFile *iosim.File) (*InvertedFile, error) {
+	if entryFile.Pages() != 0 || treeFile.Pages() != 0 {
+		return nil, fmt.Errorf("invfile: build targets must be empty")
+	}
+	var (
+		terms    []uint32
+		postings = make(map[uint32][]codec.Cell)
+	)
+	sc := src.Scan()
+	for {
+		e, err := sc.NextReuse()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]codec.Cell, len(e.Cells))
+		for i, c := range e.Cells {
+			cells[i] = codec.Cell{Number: newID(c.Number), Weight: c.Weight}
+		}
+		sort.Slice(cells, func(i, j int) bool { return cells[i].Number < cells[j].Number })
+		terms = append(terms, e.Term)
+		postings[e.Term] = cells
+	}
+	return writeEntries(entryFile, treeFile, terms, func(t uint32) []codec.Cell { return postings[t] })
+}
+
+// writeEntries is the shared tail of Build and BuildRemapped: it lays
+// the entries for terms (ascending) into entryFile, builds the B+-tree
+// directory and assembles the stats.
+func writeEntries(entryFile, treeFile *iosim.File, terms []uint32, cellsOf func(uint32) []codec.Cell) (*InvertedFile, error) {
 	w := entryFile.Writer()
 	treeCells := make([]codec.BTreeCell, 0, len(terms))
 	var buf []byte
 	var totalCells int64
 	for _, t := range terms {
-		cells := postings[t]
+		cells := cellsOf(t)
 		off := w.Offset()
 		var err error
 		buf, err = codec.AppendRecord(buf[:0], codec.Record{Number: t, Cells: cells})

@@ -118,6 +118,9 @@ func mapCounter(name string) (string, []labelPair) {
 			case parts[2] == "accum" && len(parts) == 4:
 				return Namespace + "_join_" + alg + "_accum_total",
 					[]labelPair{{"kind", parts[3]}}
+			case parts[2] == "prefilter" && len(parts) == 4:
+				return Namespace + "_prefilter_" + sanitize(parts[3]) + "_total",
+					[]labelPair{{"alg", parts[1]}}
 			default:
 				stat := sanitize(strings.Join(parts[2:], "_"))
 				return Namespace + "_join_" + alg + "_" + stat + "_total", nil
@@ -170,6 +173,8 @@ func helpFor(name string) string {
 		return "Entry cache events by replacement policy."
 	case name == Namespace+"_plan_chosen_total":
 		return "Integrated-algorithm choices by algorithm."
+	case strings.HasPrefix(name, Namespace+"_prefilter_"):
+		return "Signature prefilter pruning outcomes by join algorithm."
 	case name == Namespace+"_phase_ns":
 		return "Span durations per execution phase in nanoseconds."
 	case strings.HasPrefix(name, Namespace+"_join_"):

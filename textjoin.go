@@ -51,6 +51,7 @@ import (
 	"textjoin/internal/metrics"
 	"textjoin/internal/query"
 	"textjoin/internal/relation"
+	"textjoin/internal/signature"
 	"textjoin/internal/simulate"
 	"textjoin/internal/stats"
 	"textjoin/internal/telemetry"
@@ -516,10 +517,96 @@ func ClusterOrder(docs []*Document) []int { return cluster.GreedyOrder(docs) }
 // ClusterCollection materializes a collection reordered by ClusterOrder
 // on the workspace disk, returning the new collection and the mapping
 // from new to original document ids.
-func (w *Workspace) ClusterCollection(name string, src *Collection) (*Collection, []uint32, error) {
+func (w *Workspace) ClusterCollection(name string, src *Collection) (*Collection, IDMap, error) {
 	f, err := w.disk.Create(name)
 	if err != nil {
 		return nil, nil, err
 	}
 	return cluster.Clustered(name, f, src)
+}
+
+// Signature prefiltering.
+type (
+	// IDMap records a reordering: IDMap[newID] is the original id.
+	IDMap = cluster.IDMap
+	// SignatureConfig shapes the superimposed term codes (bits, hashes
+	// per bucket, terms per bucket, docs per cluster aggregate).
+	SignatureConfig = signature.Config
+	// SignatureSidecar is a collection's signature file: per-document,
+	// per-page and per-cluster aggregates, memory-resident once opened.
+	SignatureSidecar = signature.Sidecar
+	// Prefilter supplies sidecars to a join via Options.Prefilter; the
+	// joins use them only to skip provably empty work, so results are
+	// byte-identical with and without it.
+	Prefilter = core.Prefilter
+	// PrefilterStats reports pages/clusters/docs skipped and false
+	// passes for one join (JoinStats.Prefilter).
+	PrefilterStats = core.PrefilterStats
+)
+
+// BuildSignatures builds and stores c's signature sidecar ("<name>.sig"
+// on the workspace disk), returning the memory-resident handle.
+func (w *Workspace) BuildSignatures(c *Collection, cfg SignatureConfig) (*SignatureSidecar, error) {
+	f, err := w.disk.Create(c.Name() + ".sig")
+	if err != nil {
+		return nil, err
+	}
+	return signature.Build(c, f, cfg)
+}
+
+// OpenSignatures re-attaches to the sidecar built for c by
+// BuildSignatures (one sequential load of the sidecar file).
+func (w *Workspace) OpenSignatures(c *Collection) (*SignatureSidecar, error) {
+	f, err := w.disk.Open(c.Name() + ".sig")
+	if err != nil {
+		return nil, err
+	}
+	return signature.Open(f)
+}
+
+// ClusteredLayout is the product of BuildClusteredLayout: the reordered
+// collection with every dependent structure rebuilt against the new ids.
+type ClusteredLayout struct {
+	// Collection is the reordered collection.
+	Collection *Collection
+	// IDMap maps the new ids back to the originals.
+	IDMap IDMap
+	// Signatures is the sidecar built over the reordered layout.
+	Signatures *SignatureSidecar
+	// InvertedFile is the id-remapped inverted file, or nil when no
+	// source inverted file was supplied.
+	InvertedFile *InvertedFile
+}
+
+// BuildClusteredLayout runs the full cluster-driven build path: reorder
+// src by ClusterOrder, build the signature sidecar over the new layout
+// (clustering is what makes the aggregates selective), and — when
+// srcInv is given — rewrite the inverted file with the remapped ids so
+// HVNL probes stay consistent with the reordered collection.
+func (w *Workspace) BuildClusteredLayout(name string, src *Collection, srcInv *InvertedFile, cfg SignatureConfig) (*ClusteredLayout, error) {
+	c, idmap, err := w.ClusterCollection(name, src)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := w.BuildSignatures(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	lay := &ClusteredLayout{Collection: c, IDMap: idmap, Signatures: sc}
+	if srcInv != nil {
+		ef, err := w.disk.Create(name + ".inv")
+		if err != nil {
+			return nil, err
+		}
+		tf, err := w.disk.Create(name + ".btree")
+		if err != nil {
+			return nil, err
+		}
+		inv := idmap.Inverse()
+		lay.InvertedFile, err = invfile.BuildRemapped(srcInv, func(orig uint32) uint32 { return inv[orig] }, ef, tf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lay, nil
 }
