@@ -1,0 +1,298 @@
+// Command loadgen is an open-loop load generator for textjoind: it fires
+// /join requests at a fixed arrival rate — arrivals never wait for
+// completions, as in a real request stream — cycling through a mix of
+// algorithm/λ/prefilter profiles, and reports completed throughput and
+// latency percentiles per target.
+//
+// One run can drive several servers (repeat -target label=url) so a
+// serialized baseline and a concurrent server face the identical
+// arrival process; the combined report lands in one JSON file whose
+// field order is fixed (benchreport-style), making diffs reviewable.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -rate 50 -duration 10s
+//	loadgen -target serialized=http://:8081 -target concurrent=http://:8082 \
+//	        -rate 200 -duration 10s -json BENCH_PR7.json
+//	loadgen -addr http://localhost:8080 -wait 15s -check   # CI smoke
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// target is one server under load.
+type target struct {
+	Label string
+	URL   string
+}
+
+// targetList implements flag.Value for repeated -target label=url.
+type targetList []target
+
+func (t *targetList) String() string {
+	var parts []string
+	for _, x := range *t {
+		parts = append(parts, x.Label+"="+x.URL)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *targetList) Set(v string) error {
+	label, url, ok := strings.Cut(v, "=")
+	if !ok || label == "" || url == "" {
+		return fmt.Errorf("want label=url, got %q", v)
+	}
+	*t = append(*t, target{Label: label, URL: url})
+	return nil
+}
+
+// defaultMix cycles through the serving profiles the acceptance
+// criterion names: all three algorithms, serial and parallel variants,
+// prefilter on and off, plus the integrated planner.
+const defaultMix = "alg=hhnl|alg=hvnl|alg=vvm|alg=hvnl&workers=2|alg=vvm&workers=2|alg=hhnl&prefilter=on|alg=hvnl&prefilter=on|alg=auto"
+
+// report is the JSON artifact. Field order is fixed by the struct, all
+// floats are rounded to fixed precision, and no timestamps are recorded
+// — two runs differ only where the measurement differs.
+type report struct {
+	Version int       `json:"version"`
+	Config  runConfig `json:"config"`
+	Runs    []runStat `json:"runs"`
+}
+
+type runConfig struct {
+	RatePerSec      float64  `json:"rate_per_sec"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	Lambda          int      `json:"lambda"`
+	Mix             []string `json:"mix"`
+}
+
+// runStat is one target's outcome. Rejected counts 503s (admission
+// control shedding load, by design); Errors everything else non-200.
+type runStat struct {
+	Label            string  `json:"label"`
+	Requests         int64   `json:"requests"`
+	OK               int64   `json:"ok"`
+	Rejected         int64   `json:"rejected"`
+	Errors           int64   `json:"errors"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	P50Ms            float64 `json:"p50_ms"`
+	P90Ms            float64 `json:"p90_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	P999Ms           float64 `json:"p999_ms"`
+	MaxMs            float64 `json:"max_ms"`
+}
+
+func main() {
+	var targets targetList
+	addr := flag.String("addr", "http://localhost:8080", "single server base URL (ignored when -target is given)")
+	label := flag.String("label", "default", "run label for the single -addr target")
+	flag.Var(&targets, "target", "label=url server under load; repeat for several targets")
+	rate := flag.Float64("rate", 50, "arrival rate in requests per second (open loop)")
+	duration := flag.Duration("duration", 5*time.Second, "length of each run")
+	lambda := flag.Int("lambda", 5, "λ sent with every request")
+	mix := flag.String("mix", defaultMix, "request profiles, '|'-separated /join query fragments, cycled per arrival")
+	wait := flag.Duration("wait", 0, "poll each target's /healthz this long before loading (0 = no wait)")
+	jsonPath := flag.String("json", "", "write the machine-readable report here")
+	check := flag.Bool("check", false, "exit non-zero unless every request succeeded and percentiles are sane (CI smoke)")
+	flag.Parse()
+
+	if len(targets) == 0 {
+		targets = targetList{{Label: *label, URL: *addr}}
+	}
+	profiles := strings.Split(*mix, "|")
+
+	rep := report{
+		Version: 1,
+		Config: runConfig{
+			RatePerSec:      *rate,
+			DurationSeconds: (*duration).Seconds(),
+			Lambda:          *lambda,
+			Mix:             profiles,
+		},
+	}
+	for _, tgt := range targets {
+		if *wait > 0 {
+			if err := waitReady(tgt.URL, *wait); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", tgt.Label, err)
+				os.Exit(1)
+			}
+		}
+		rep.Runs = append(rep.Runs, runLoad(tgt, *rate, *duration, *lambda, profiles))
+	}
+
+	printTable(os.Stdout, rep.Runs)
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: wrote %s\n", *jsonPath)
+	}
+	if *check {
+		if err := sanity(rep.Runs); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: check:", err)
+			os.Exit(1)
+		}
+		fmt.Println("loadgen: check ok")
+	}
+}
+
+// waitReady polls /healthz until the server answers 200 or the budget
+// runs out — the handshake that lets CI start loadgen and textjoind
+// concurrently.
+func waitReady(base string, budget time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v", base, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// runLoad drives one target with a fixed-rate arrival process: a ticker
+// fires every 1/rate seconds and each arrival gets its own goroutine,
+// so a slow (or queued) request never delays the next arrival — the
+// open-loop property that exposes queueing collapse, which closed-loop
+// generators hide.
+func runLoad(tgt target, rate float64, duration time.Duration, lambda int, profiles []string) runStat {
+	client := &http.Client{Timeout: 2 * duration}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(duration)
+
+	st := runStat{Label: tgt.Label}
+	var mu sync.Mutex
+	var latencies []float64
+	var wg sync.WaitGroup
+	begin := time.Now()
+	next := 0
+arrivals:
+	for {
+		select {
+		case <-stop:
+			break arrivals
+		case <-ticker.C:
+			profile := profiles[next%len(profiles)]
+			next++
+			st.Requests++
+			wg.Add(1)
+			go func(profile string) {
+				defer wg.Done()
+				url := fmt.Sprintf("%s/join?%s&lambda=%d&show=0", tgt.URL, profile, lambda)
+				reqBegin := time.Now()
+				resp, err := client.Get(url)
+				elapsed := time.Since(reqBegin)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err != nil:
+					st.Errors++
+				case resp.StatusCode == http.StatusOK:
+					st.OK++
+					latencies = append(latencies, elapsed.Seconds()*1e3)
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					st.Rejected++
+				default:
+					st.Errors++
+				}
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}(profile)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(begin).Seconds()
+
+	sort.Float64s(latencies)
+	st.ThroughputPerSec = round3(float64(st.OK) / elapsed)
+	st.P50Ms = round3(percentile(latencies, 0.50))
+	st.P90Ms = round3(percentile(latencies, 0.90))
+	st.P99Ms = round3(percentile(latencies, 0.99))
+	st.P999Ms = round3(percentile(latencies, 0.999))
+	if n := len(latencies); n > 0 {
+		st.MaxMs = round3(latencies[n-1])
+	}
+	return st
+}
+
+// percentile returns the q-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }
+
+// printTable renders the human-readable summary.
+func printTable(w io.Writer, runs []runStat) {
+	fmt.Fprintf(w, "%-12s %8s %8s %8s %8s %10s %9s %9s %9s %9s %9s\n",
+		"target", "requests", "ok", "rejected", "errors", "thrpt/s", "p50ms", "p90ms", "p99ms", "p999ms", "maxms")
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-12s %8d %8d %8d %8d %10.1f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			r.Label, r.Requests, r.OK, r.Rejected, r.Errors,
+			r.ThroughputPerSec, r.P50Ms, r.P90Ms, r.P99Ms, r.P999Ms, r.MaxMs)
+	}
+}
+
+// sanity is the CI gate behind -check: the short smoke run must complete
+// every request (no errors, no rejections) with ordered, non-zero
+// percentiles.
+func sanity(runs []runStat) error {
+	for _, r := range runs {
+		switch {
+		case r.Requests == 0:
+			return fmt.Errorf("%s: no requests issued", r.Label)
+		case r.Errors > 0:
+			return fmt.Errorf("%s: %d requests failed", r.Label, r.Errors)
+		case r.Rejected > 0:
+			return fmt.Errorf("%s: %d requests rejected", r.Label, r.Rejected)
+		case r.OK != r.Requests:
+			return fmt.Errorf("%s: %d of %d requests unaccounted for", r.Label, r.Requests-r.OK, r.Requests)
+		case r.P50Ms <= 0 || r.P99Ms < r.P50Ms || r.MaxMs < r.P99Ms:
+			return fmt.Errorf("%s: implausible percentiles p50=%v p99=%v max=%v", r.Label, r.P50Ms, r.P99Ms, r.MaxMs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"textjoin"
+)
+
+func testAdmitter(budget int64, queue int, wait time.Duration) *admitter {
+	return newAdmitter(budget, queue, wait, textjoin.NewTelemetry())
+}
+
+func TestAdmitterAdmitsWithinBudget(t *testing.T) {
+	a := testAdmitter(100, 4, time.Second)
+	for i := 0; i < 4; i++ {
+		queued, err := a.admit(25)
+		if err != nil || queued != 0 {
+			t.Fatalf("admit %d: queued=%v err=%v", i, queued, err)
+		}
+	}
+	if a.inUse != 100 {
+		t.Fatalf("inUse = %d, want 100", a.inUse)
+	}
+	for i := 0; i < 4; i++ {
+		a.release(25)
+	}
+	if a.inUse != 0 {
+		t.Fatalf("inUse after release = %d, want 0", a.inUse)
+	}
+}
+
+// TestAdmitterClampsOversized: a footprint beyond the whole budget is
+// clamped, never rejected outright — the request simply runs alone.
+func TestAdmitterClampsOversized(t *testing.T) {
+	a := testAdmitter(100, 4, time.Second)
+	if _, err := a.admit(1 << 40); err != nil {
+		t.Fatalf("oversized request rejected: %v", err)
+	}
+	if a.inUse != 100 {
+		t.Fatalf("inUse = %d, want clamped 100", a.inUse)
+	}
+	a.release(1 << 40)
+	if a.inUse != 0 {
+		t.Fatalf("inUse after release = %d, want 0", a.inUse)
+	}
+}
+
+// TestAdmitterQueueFull: with the budget held and the queue at
+// capacity, the next request is rejected immediately.
+func TestAdmitterQueueFull(t *testing.T) {
+	a := testAdmitter(100, 0, time.Second)
+	if _, err := a.admit(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.admit(1); !errors.Is(err, errQueueFull) {
+		t.Fatalf("err = %v, want errQueueFull", err)
+	}
+}
+
+// TestAdmitterDeadline: a queued request that never fits is rejected
+// once the wait deadline passes.
+func TestAdmitterDeadline(t *testing.T) {
+	a := testAdmitter(100, 4, 20*time.Millisecond)
+	if _, err := a.admit(100); err != nil {
+		t.Fatal(err)
+	}
+	begin := time.Now()
+	queued, err := a.admit(1)
+	if !errors.Is(err, errQueueWait) {
+		t.Fatalf("err = %v, want errQueueWait", err)
+	}
+	if queued < 20*time.Millisecond {
+		t.Fatalf("reported queue time %v shorter than the deadline", queued)
+	}
+	if time.Since(begin) > 5*time.Second {
+		t.Fatal("deadline did not bound the wait")
+	}
+	if len(a.queue) != 0 {
+		t.Fatalf("expired waiter still queued (%d)", len(a.queue))
+	}
+}
+
+// TestAdmitterFIFO: waiters are admitted strictly in arrival order as
+// budget frees up.
+func TestAdmitterFIFO(t *testing.T) {
+	a := testAdmitter(100, 16, 5*time.Second)
+	if _, err := a.admit(100); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	start := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Stagger arrivals so queue order is deterministic.
+			<-start
+			if _, err := a.admit(100); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			a.release(100)
+		}()
+		start <- struct{}{}
+		for {
+			a.mu.Lock()
+			parked := len(a.queue) == i+1
+			a.mu.Unlock()
+			if parked {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	a.release(100)
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestAdmitterConcurrentChurn hammers the semaphore from many
+// goroutines; under -race this is the data-race check, and the budget
+// invariant must hold at every admission.
+func TestAdmitterConcurrentChurn(t *testing.T) {
+	a := testAdmitter(100, 64, 5*time.Second)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := a.admit(30); err != nil {
+					t.Errorf("admit: %v", err)
+					return
+				}
+				a.mu.Lock()
+				over := a.inUse > a.budget
+				a.mu.Unlock()
+				if over {
+					t.Error("budget exceeded")
+				}
+				a.release(30)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.inUse != 0 {
+		t.Fatalf("inUse after churn = %d, want 0", a.inUse)
+	}
+}

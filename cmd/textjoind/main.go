@@ -22,13 +22,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 )
 
 func main() {
 	cfg := defaultConfig()
-	addr := flag.String("addr", "localhost:8080", "listen address")
+	addr := flag.String("addr", "localhost:8080", "listen address (port 0 picks a free port)")
 	smoke := flag.Bool("smoke", false, "start on a loopback port, exercise every endpoint, shut down; exit non-zero on failure")
 	flag.StringVar(&cfg.P1, "p1", cfg.P1, "inner collection profile: wsj, fr, doe")
 	flag.StringVar(&cfg.P2, "p2", cfg.P2, "outer collection profile: wsj, fr, doe")
@@ -38,7 +39,13 @@ func main() {
 	flag.Float64Var(&cfg.Alpha, "alpha", cfg.Alpha, "random/sequential I/O cost ratio α")
 	flag.IntVar(&cfg.Lambda, "lambda", cfg.Lambda, "default λ of SIMILAR_TO(λ)")
 	flag.IntVar(&cfg.TraceCap, "trace-cap", cfg.TraceCap, "trace ring capacity in entries")
+	budgetMB := flag.Int64("budget-mb", cfg.BudgetBytes>>20, "admission budget for concurrent joins, MiB")
+	flag.IntVar(&cfg.QueueLen, "queue", cfg.QueueLen, "admission wait-queue capacity; a full queue rejects with 503")
+	flag.DurationVar(&cfg.QueueWait, "queue-wait", cfg.QueueWait, "longest a request may wait for admission before 503")
+	flag.BoolVar(&cfg.Serialize, "serialize", cfg.Serialize, "run joins one at a time (benchmark baseline)")
+	flag.DurationVar(&cfg.IODelay, "io-delay", cfg.IODelay, "real wall-clock latency per simulated page read (benchmark device model)")
 	flag.Parse()
+	cfg.BudgetBytes = *budgetMB << 20
 
 	if *smoke {
 		if err := runSmoke(cfg, os.Stdout); err != nil {
@@ -53,9 +60,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "textjoind:", err)
 		os.Exit(1)
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "textjoind:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("textjoind: %s\n", srv.describe())
-	fmt.Printf("textjoind: listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+	fmt.Printf("textjoind: listening on %s\n", ln.Addr())
+	if err := (&http.Server{Handler: srv.handler()}).Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "textjoind:", err)
 		os.Exit(1)
 	}

@@ -2,11 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -15,7 +16,8 @@ import (
 	"textjoin/internal/telemetry"
 )
 
-// config describes the workspace the server builds at startup.
+// config describes the workspace the server builds at startup and the
+// admission-control envelope it serves under.
 type config struct {
 	P1, P2      string
 	Scale       int64
@@ -24,6 +26,18 @@ type config struct {
 	Alpha       float64
 	Lambda      int
 	TraceCap    int
+	// BudgetBytes caps the summed footprint of concurrently running
+	// joins; QueueLen and QueueWait bound the FIFO wait queue behind
+	// it. Serialize charges every request the whole budget, restoring
+	// one-join-at-a-time execution (the pre-concurrency behavior, kept
+	// as a benchmark baseline).
+	BudgetBytes int64
+	QueueLen    int
+	QueueWait   time.Duration
+	Serialize   bool
+	// IODelay charges every simulated page read that much real time
+	// (default 0), modeling device latency for serving benchmarks.
+	IODelay time.Duration
 }
 
 func defaultConfig() config {
@@ -36,14 +50,19 @@ func defaultConfig() config {
 		Alpha:       5,
 		Lambda:      5,
 		TraceCap:    4096,
+		BudgetBytes: 256 << 20,
+		QueueLen:    64,
+		QueueWait:   2 * time.Second,
 	}
 }
 
 // server owns the workspace, the telemetry collector and the exporter.
-// Joins are serialized (the simulated disk models one head; concurrent
-// joins would corrupt each other's sequential/random classification),
-// but /metrics, /traces and /healthz never take the join lock — scrapes
-// stay responsive while a join runs.
+// Joins run concurrently: each request executes on a private I/O view of
+// the workspace disk (its own head positions and counters over the same
+// immutable pages), so overlapping joins return results and stats
+// byte-identical to serial runs. The admitter bounds how many run at
+// once by their estimated memory footprints; /metrics, /traces and
+// /healthz bypass admission entirely and stay responsive under load.
 type server struct {
 	cfg        config
 	ws         *textjoin.Workspace
@@ -53,14 +72,14 @@ type server struct {
 	sig1, sig2 *textjoin.SignatureSidecar
 	tel        *textjoin.Telemetry
 	exporter   *textjoin.MetricsExporter
+	adm        *admitter
 	start      time.Time
 
-	joinMu sync.Mutex
-	joins  atomic.Int64
+	joins atomic.Int64
 }
 
 func newServer(cfg config) (*server, error) {
-	ws := textjoin.NewWorkspace(textjoin.WithAlpha(cfg.Alpha))
+	ws := textjoin.NewWorkspace(textjoin.WithAlpha(cfg.Alpha), textjoin.WithIODelay(cfg.IODelay))
 	gen := func(name, profile string, seed int64) (*textjoin.Collection, error) {
 		p, err := corpus.ProfileByName(profile)
 		if err != nil {
@@ -95,6 +114,16 @@ func newServer(cfg config) (*server, error) {
 		return nil, err
 	}
 
+	// Load both term indexes up front: the one-time B+tree sweep is
+	// charged to startup, not to whichever request happens to arrive
+	// first — per-request I/O stats stay identical from the first join.
+	if _, err := inv1.LoadIndex(); err != nil {
+		return nil, err
+	}
+	if _, err := inv2.LoadIndex(); err != nil {
+		return nil, err
+	}
+
 	tel := textjoin.NewTelemetry(telemetry.WithTraceCap(cfg.TraceCap))
 	ws.ResetIOStats()
 	ws.SetTelemetry(tel)
@@ -109,6 +138,7 @@ func newServer(cfg config) (*server, error) {
 		sig2:     sig2,
 		tel:      tel,
 		exporter: textjoin.NewMetricsExporter(tel),
+		adm:      newAdmitter(cfg.BudgetBytes, cfg.QueueLen, cfg.QueueWait, tel),
 		start:    time.Now(),
 	}, nil
 }
@@ -120,12 +150,22 @@ func (s *server) describe() string {
 		s.cfg.MemoryPages, s.cfg.Alpha)
 }
 
+// timed wraps a handler with the per-endpoint request-latency histogram.
+func (s *server) timed(endpoint string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		h.ServeHTTP(w, r)
+		s.tel.Histogram("http.request."+endpoint+".ns", telemetry.DefaultLatencyBuckets).
+			Observe(time.Since(begin).Nanoseconds())
+	})
+}
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/join", s.handleJoin)
-	mux.Handle("/metrics", s.exporter)
-	mux.Handle("/traces", textjoin.TraceStreamHandler(s.tel))
-	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.Handle("/join", s.timed("join", http.HandlerFunc(s.handleJoin)))
+	mux.Handle("/metrics", s.timed("metrics", s.exporter))
+	mux.Handle("/traces", s.timed("traces", textjoin.TraceStreamHandler(s.tel)))
+	mux.Handle("/healthz", s.timed("healthz", http.HandlerFunc(s.handleHealth)))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -147,21 +187,26 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// joinResponse is the /join reply.
+// joinResponse is the /join reply. WallSeconds is the request's total
+// residence time; QueueSeconds is the share spent parked in the
+// admission queue and ExecSeconds the share actually executing the join,
+// so saturation (queue growth) is distinguishable from slow joins.
 type joinResponse struct {
-	Algorithm   string          `json:"algorithm"`
-	Integrated  bool            `json:"integrated"`
-	Workers     int             `json:"workers"`
-	Lambda      int             `json:"lambda"`
-	OuterDocs   int64           `json:"outer_docs"`
-	InnerDocs   int64           `json:"inner_docs"`
-	Passes      int             `json:"passes"`
-	SeqReads    int64           `json:"seq_reads"`
-	RandReads   int64           `json:"rand_reads"`
-	Cost        float64         `json:"cost"`
-	WallSeconds float64         `json:"wall_seconds"`
-	Prefilter   *prefilterStats `json:"prefilter,omitempty"`
-	Results     []joinResult    `json:"results,omitempty"`
+	Algorithm    string          `json:"algorithm"`
+	Integrated   bool            `json:"integrated"`
+	Workers      int             `json:"workers"`
+	Lambda       int             `json:"lambda"`
+	OuterDocs    int64           `json:"outer_docs"`
+	InnerDocs    int64           `json:"inner_docs"`
+	Passes       int             `json:"passes"`
+	SeqReads     int64           `json:"seq_reads"`
+	RandReads    int64           `json:"rand_reads"`
+	Cost         float64         `json:"cost"`
+	WallSeconds  float64         `json:"wall_seconds"`
+	QueueSeconds float64         `json:"queue_seconds"`
+	ExecSeconds  float64         `json:"exec_seconds"`
+	Prefilter    *prefilterStats `json:"prefilter,omitempty"`
+	Results      []joinResult    `json:"results,omitempty"`
 }
 
 // prefilterStats reports the signature prefilter's pruning outcome.
@@ -188,8 +233,23 @@ type joinMatch struct {
 // to include, default 3), prefilter (on, off; default off) to offer the
 // signature sidecars to the join — results are byte-identical either
 // way, only the I/O pattern changes.
+//
+// Every parameter is validated before the request is admitted, so a
+// malformed request never occupies budget or queue space. Admitted
+// requests run on a private I/O view and release their footprint when
+// done. Failure classes map to distinct statuses: bad parameters → 400,
+// admission rejection → 503 (with Retry-After), a join the workspace
+// cannot run (memory budget, missing structure) → 422, anything else →
+// 500.
 func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
 	algName := param(r, "alg", "auto")
+	if algName != "auto" {
+		if _, err := textjoin.ParseAlgorithm(algName); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	lambda, err := intParam(r, "lambda", s.cfg.Lambda)
 	if err == nil && lambda <= 0 {
 		err = fmt.Errorf("lambda must be positive")
@@ -219,7 +279,30 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission: charge the estimated footprint against the budget. In
+	// serialize mode every request is charged the whole budget, so at
+	// most one join runs at a time (the benchmark baseline).
+	cost := s.footprintBytes(algName, lambda, workers)
+	if s.cfg.Serialize {
+		cost = s.cfg.BudgetBytes
+	}
+	queued, err := s.adm.admit(cost)
+	if err != nil {
+		w.Header().Set("Retry-After", retryAfter(s.cfg.QueueWait))
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.adm.release(cost)
+
+	// Snapshot: bind the inputs to a private I/O view so this join's
+	// page reads move private head positions and counters.
+	v := s.ws.Snapshot()
+	defer v.Close()
 	in := textjoin.Inputs{Outer: s.c2, Inner: s.c1, InnerInv: s.inv1, OuterInv: s.inv2}
+	if in, err = in.WithView(v); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	opts := textjoin.Options{
 		Lambda:      lambda,
 		MemoryPages: s.cfg.MemoryPages,
@@ -234,19 +317,12 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var results []textjoin.Result
 	var stats *textjoin.JoinStats
 
-	begin := time.Now()
-	s.joinMu.Lock()
+	execBegin := time.Now()
 	if algName == "auto" {
 		results, stats, _, err = textjoin.JoinIntegrated(in, opts)
 		resp.Integrated = true
 	} else {
-		var alg textjoin.Algorithm
-		alg, err = textjoin.ParseAlgorithm(algName)
-		if err != nil {
-			s.joinMu.Unlock()
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
+		alg, _ := textjoin.ParseAlgorithm(algName)
 		switch {
 		case workers > 1 && alg == textjoin.HHNL:
 			results, stats, err = textjoin.JoinHHNLParallel(in, opts, workers)
@@ -258,9 +334,13 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			results, stats, err = textjoin.Join(alg, in, opts)
 		}
 	}
-	s.joinMu.Unlock()
+	execSeconds := time.Since(execBegin).Seconds()
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, textjoin.ErrInsufficientMemory) || errors.Is(err, textjoin.ErrMissingInput) {
+			status = http.StatusUnprocessableEntity
+		}
+		httpError(w, status, err)
 		return
 	}
 	s.joins.Add(1)
@@ -274,6 +354,8 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	resp.RandReads = stats.IO.RandReads
 	resp.Cost = stats.Cost
 	resp.WallSeconds = time.Since(begin).Seconds()
+	resp.QueueSeconds = queued.Seconds()
+	resp.ExecSeconds = execSeconds
 	if stats.Prefilter.Enabled {
 		resp.Prefilter = &prefilterStats{
 			PagesSkipped:    stats.Prefilter.PagesSkipped,
@@ -293,6 +375,17 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		resp.Results = append(resp.Results, jr)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// retryAfter renders the admission deadline as a whole-second
+// Retry-After value (at least 1): after one deadline's worth of drain,
+// the queue that rejected this request has turned over.
+func retryAfter(wait time.Duration) string {
+	secs := int64(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func param(r *http.Request, name, def string) string {

@@ -97,6 +97,35 @@ func runSmoke(cfg config, out io.Writer) error {
 			_, err := get("/join?alg=vvm&workers=4&show=0")
 			return err
 		}},
+		{"join concurrent", func() error {
+			// A concurrent burst: every request must succeed, each on
+			// its own I/O view under the admission budget.
+			paths := []string{
+				"/join?alg=hhnl&show=0", "/join?alg=hvnl&show=0",
+				"/join?alg=vvm&show=0", "/join?alg=hvnl&workers=2&show=0",
+			}
+			errs := make(chan error, len(paths))
+			for _, p := range paths {
+				go func(p string) { _, err := get(p); errs <- err }(p)
+			}
+			for range paths {
+				if err := <-errs; err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"join rejects bad alg", func() error {
+			resp, err := client.Get(base + "/join?alg=bogus")
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				return fmt.Errorf("alg=bogus: want 400, got %d", resp.StatusCode)
+			}
+			return nil
+		}},
 		{"join prefilter", func() error {
 			body, err := get("/join?alg=hhnl&prefilter=on&show=0")
 			if err != nil {
@@ -128,6 +157,14 @@ func runSmoke(cfg config, out io.Writer) error {
 			}
 			if !strings.Contains(string(body), "textjoin_scrapes_total") {
 				return fmt.Errorf("exposition lacks textjoin_scrapes_total")
+			}
+			for _, family := range []string{
+				"textjoin_http_inflight", "textjoin_http_queue_depth",
+				"textjoin_http_request_ns",
+			} {
+				if !strings.Contains(string(body), family) {
+					return fmt.Errorf("exposition lacks %s", family)
+				}
 			}
 			return nil
 		}},

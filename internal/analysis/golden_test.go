@@ -32,6 +32,7 @@ func fixturePolicy() *Policy {
 		NilRecv:         map[string][]string{"internal/guards": {"Thing"}},
 		MutexScope:      []string{"internal/locks"},
 		MutexForbidden:  []string{"internal/iosim"},
+		MutexJoinScope:  []string{"cmd/served"},
 	}
 }
 

@@ -5,9 +5,10 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
-// mutexHygiene enforces two locking rules.
+// mutexHygiene enforces three locking rules.
 //
 // Copy-by-value (module-wide): no receiver, parameter or result passes
 // a sync.Mutex/sync.RWMutex — or a struct containing one — by value. A
@@ -20,20 +21,27 @@ import (
 // Policy.MutexForbidden package (internal/iosim) while a mutex is
 // held. This is the scrape-lock-free promise: /metrics and /traces
 // snapshot atomics under short mutexes and must never sit on a lock
-// waiting for simulated disk I/O. The analysis is per function body,
-// straight-line by source position, and intentionally direct-call
-// only: the textjoind /join handler legitimately holds the join mutex
-// across a whole join, but it calls through the facade, not into
-// iosim. A deferred Unlock does not release — the lock is genuinely
-// held for the rest of the function, so an iosim call after
-// `defer mu.Unlock()` is a real finding. Function literals are
-// separate scopes (a closure body does not run under the lock state of
-// its definition site).
+// waiting for simulated disk I/O.
+//
+// Lock-across-join (Policy.MutexJoinScope, i.e. the front ends under
+// cmd/): within a scope package, no function calls a facade
+// (module-root) function whose name starts with Join while a mutex is
+// held. A handler that runs a whole join under a lock serializes every
+// concurrent request behind that join's simulated device I/O — the
+// serving path snapshots a view under a short lock and joins unlocked
+// (DESIGN.md §13).
+//
+// Both held-lock analyses are per function body, straight-line by
+// source position, and intentionally direct-call only. A deferred
+// Unlock does not release — the lock is genuinely held for the rest of
+// the function, so a forbidden call after `defer mu.Unlock()` is a
+// real finding. Function literals are separate scopes (a closure body
+// does not run under the lock state of its definition site).
 type mutexHygiene struct{ pol *Policy }
 
 func (a *mutexHygiene) Name() string { return "mutexhygiene" }
 func (a *mutexHygiene) Doc() string {
-	return "no mutex copied by value in signatures; no lock held across a direct call into iosim in the scrape-lock-free packages"
+	return "no mutex copied by value in signatures; no lock held across a direct call into iosim in the scrape-lock-free packages; no lock held across a facade Join* call in the serving front ends"
 }
 func (a *mutexHygiene) NeedsTypes() bool { return true }
 
@@ -46,7 +54,10 @@ func (a *mutexHygiene) Check(p *Package) []Diagnostic {
 	for _, rel := range a.pol.MutexForbidden {
 		forbidden[p.Module+"/"+rel] = true
 	}
-	inScope := containsString(a.pol.MutexScope, p.Rel)
+	if !containsString(a.pol.MutexScope, p.Rel) {
+		forbidden = nil
+	}
+	joinScope := containsString(a.pol.MutexJoinScope, p.Rel)
 
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
@@ -55,11 +66,11 @@ func (a *mutexHygiene) Check(p *Package) []Diagnostic {
 				continue
 			}
 			diags = append(diags, a.checkSignature(p, fd)...)
-			if !inScope || fd.Body == nil {
+			if (len(forbidden) == 0 && !joinScope) || fd.Body == nil {
 				continue
 			}
 			for _, scope := range functionScopes(fd.Body) {
-				diags = append(diags, a.checkLockHeld(p, fd, scope, forbidden)...)
+				diags = append(diags, a.checkLockHeld(p, fd, scope, forbidden, joinScope)...)
 			}
 		}
 	}
@@ -111,13 +122,14 @@ func functionScopes(body *ast.BlockStmt) []*ast.BlockStmt {
 
 type lockEvent struct {
 	pos  token.Pos
-	kind int // 0 lock, 1 unlock, 2 forbidden call
+	kind int // 0 lock, 1 unlock, 2 forbidden call, 3 facade join call
 	name string
 }
 
 // checkLockHeld scans one function scope in source order and reports
-// forbidden-package calls made between a Lock and its Unlock.
-func (a *mutexHygiene) checkLockHeld(p *Package, fd *ast.FuncDecl, scope *ast.BlockStmt, forbidden map[string]bool) []Diagnostic {
+// forbidden-package calls (and, in the join scope, facade Join* calls)
+// made between a Lock and its Unlock.
+func (a *mutexHygiene) checkLockHeld(p *Package, fd *ast.FuncDecl, scope *ast.BlockStmt, forbidden map[string]bool, joinScope bool) []Diagnostic {
 	deferred := make(map[*ast.CallExpr]bool)
 	var events []lockEvent
 	inspectScope(scope, func(n ast.Node) {
@@ -142,8 +154,11 @@ func (a *mutexHygiene) checkLockHeld(p *Package, fd *ast.FuncDecl, scope *ast.Bl
 					}
 				}
 			}
-			if path, name := calleePackage(p, n); forbidden[path] {
+			switch path, name, bare := calleePackage(p, n); {
+			case forbidden[path]:
 				events = append(events, lockEvent{n.Pos(), 2, name})
+			case joinScope && path == p.Module && strings.HasPrefix(bare, "Join"):
+				events = append(events, lockEvent{n.Pos(), 3, name})
 			}
 		}
 	})
@@ -165,6 +180,12 @@ func (a *mutexHygiene) checkLockHeld(p *Package, fd *ast.FuncDecl, scope *ast.Bl
 					"%s calls %s while holding a mutex; the scrape-lock-free layer must not block on simulated I/O under a lock",
 					fd.Name.Name, e.name))
 			}
+		case 3:
+			if held > 0 {
+				diags = append(diags, p.diag(a.Name(), e.pos,
+					"%s calls %s while holding a mutex; serve joins from a snapshot view instead of locking across the whole join",
+					fd.Name.Name, e.name))
+			}
 		}
 	}
 	return diags
@@ -184,9 +205,9 @@ func inspectScope(scope *ast.BlockStmt, fn func(ast.Node)) {
 	})
 }
 
-// calleePackage resolves the defining package path and display name of
-// a call's callee, or "" when unresolvable.
-func calleePackage(p *Package, call *ast.CallExpr) (string, string) {
+// calleePackage resolves the defining package path, display name and
+// bare function name of a call's callee, or "" when unresolvable.
+func calleePackage(p *Package, call *ast.CallExpr) (string, string, string) {
 	var id *ast.Ident
 	switch fun := call.Fun.(type) {
 	case *ast.SelectorExpr:
@@ -194,13 +215,13 @@ func calleePackage(p *Package, call *ast.CallExpr) (string, string) {
 	case *ast.Ident:
 		id = fun
 	default:
-		return "", ""
+		return "", "", ""
 	}
 	fn, ok := p.Info.Uses[id].(*types.Func)
 	if !ok || fn.Pkg() == nil {
-		return "", ""
+		return "", "", ""
 	}
-	return fn.Pkg().Path(), fn.Pkg().Name() + "." + fn.Name()
+	return fn.Pkg().Path(), fn.Pkg().Name() + "." + fn.Name(), fn.Name()
 }
 
 // isMutexExpr reports whether e's type is (a pointer to) sync.Mutex,

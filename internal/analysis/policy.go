@@ -39,9 +39,16 @@ type Policy struct {
 
 	// MutexForbidden lists the module-relative packages whose
 	// functions and methods must not be called under a held lock
-	// within MutexScope (direct calls; the join paths that hold the
-	// join mutex call through the facade and are out of scope).
+	// within MutexScope (direct calls only).
 	MutexForbidden []string
+
+	// MutexJoinScope lists the packages (the serving and benchmark
+	// front ends under cmd/) in which holding a mutex across a facade
+	// Join* call is flagged. A handler that runs a whole join under a
+	// lock serializes every concurrent request behind that join's
+	// simulated device I/O; the serving path must snapshot a view
+	// under a short lock and run the join unlocked.
+	MutexJoinScope []string
 }
 
 // DefaultPolicy returns the live repo's policy. The ImportLayer table
@@ -103,6 +110,7 @@ func DefaultPolicy() *Policy {
 		},
 		MutexScope:     []string{"internal/metrics", "internal/telemetry", "cmd/textjoind"},
 		MutexForbidden: []string{"internal/iosim"},
+		MutexJoinScope: []string{"cmd/benchreport", "cmd/textjoin", "cmd/textjoind"},
 	}
 }
 

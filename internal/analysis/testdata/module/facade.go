@@ -1,0 +1,12 @@
+// Package fixture is the fixture module's facade: the module-root
+// package whose Join* entry points the mutexhygiene join rule guards.
+package fixture
+
+// Join stands in for the real facade's join entry points.
+func Join(lambda int) int { return lambda }
+
+// JoinParallel is a second Join-prefixed entry point.
+func JoinParallel(lambda, workers int) int { return lambda * workers }
+
+// Prepare is facade API that is not a join: legal under a lock.
+func Prepare() int { return 1 }

@@ -76,9 +76,17 @@ type Collection struct {
 	df    map[uint32]int64
 	norms []float64
 
-	// Derived tables, built once on first use and shared afterwards
-	// (every cosine/tf-idf join used to rebuild these O(N)/O(T) maps per
-	// call).
+	// der holds the lazily built derived tables behind a pointer shared
+	// by every view-bound copy of the collection, so WithView can return
+	// a shallow copy (no sync.Once is ever copied) and the O(N)/O(T)
+	// maps are still built exactly once per collection.
+	der *derived
+}
+
+// derived memoizes tables built once on first use and shared afterwards
+// (every cosine/tf-idf join used to rebuild these O(N)/O(T) maps per
+// call).
+type derived struct {
 	normOnce sync.Once
 	normMap  map[uint32]float64
 	idfOnce  sync.Once
@@ -174,6 +182,7 @@ func (b *Builder) Finish() (*Collection, error) {
 		stats: stats,
 		df:    b.df,
 		norms: b.norms,
+		der:   &derived{},
 	}, nil
 }
 
@@ -189,6 +198,7 @@ func Open(name string, file *iosim.File, expectedDocs int64) (*Collection, error
 		file:  file,
 		df:    make(map[uint32]int64),
 		stats: Stats{PageSize: file.PageSize()},
+		der:   &derived{},
 	}
 	var buf []byte
 	var nextPage, off int64
@@ -298,28 +308,28 @@ func (c *Collection) Norm(id uint32) float64 {
 // The table is computed once and the same map is returned on every call;
 // callers must not modify it.
 func (c *Collection) Norms() map[uint32]float64 {
-	c.normOnce.Do(func() {
+	c.der.normOnce.Do(func() {
 		m := make(map[uint32]float64, len(c.norms))
 		for id, n := range c.norms {
 			m[uint32(id)] = n
 		}
-		c.normMap = m
+		c.der.normMap = m
 	})
-	return c.normMap
+	return c.der.normMap
 }
 
 // IDFMap returns idf weights for every term, for tf-idf scoring. The table
 // is computed once and the same map is returned on every call; callers
 // must not modify it.
 func (c *Collection) IDFMap() map[uint32]float64 {
-	c.idfOnce.Do(func() {
+	c.der.idfOnce.Do(func() {
 		m := make(map[uint32]float64, len(c.df))
 		for term, df := range c.df {
 			m[term] = document.IDF(c.stats.N, df)
 		}
-		c.idfMap = m
+		c.der.idfMap = m
 	})
-	return c.idfMap
+	return c.der.idfMap
 }
 
 // Fetch reads document id with a random access, touching the ⌈S⌉-ish pages
@@ -504,8 +514,13 @@ type Subset struct {
 	c   *Collection
 	ids []uint32
 
-	// Memoized derived statistics: a subset is immutable, so the per-call
+	// der memoizes derived statistics behind a pointer shared by every
+	// view-bound copy: a subset is immutable, so the per-call
 	// O(len(ids)) directory walks are paid once.
+	der *subsetDerived
+}
+
+type subsetDerived struct {
 	statsOnce sync.Once
 	stats     Stats
 	avgOnce   sync.Once
@@ -531,7 +546,7 @@ func (c *Collection) Subset(ids []uint32) (*Subset, error) {
 		}
 		prev = int64(id)
 	}
-	return &Subset{c: c, ids: out}, nil
+	return &Subset{c: c, ids: out, der: &subsetDerived{}}, nil
 }
 
 // Name identifies the subset.
@@ -567,7 +582,7 @@ func (s *Subset) BaseStats() Stats { return s.c.stats }
 // AvgDocBytes returns the average packed size of the selected documents,
 // computed from the directory once and memoized.
 func (s *Subset) AvgDocBytes() float64 {
-	s.avgOnce.Do(func() {
+	s.der.avgOnce.Do(func() {
 		if len(s.ids) == 0 {
 			return
 		}
@@ -575,9 +590,9 @@ func (s *Subset) AvgDocBytes() float64 {
 		for _, id := range s.ids {
 			total += int64(s.c.refs[id].Len)
 		}
-		s.avgBytes = float64(total) / float64(len(s.ids))
+		s.der.avgBytes = float64(total) / float64(len(s.ids))
 	})
-	return s.avgBytes
+	return s.der.avgBytes
 }
 
 // Stats estimates the statistics of the subset viewed as a collection of
@@ -586,11 +601,11 @@ func (s *Subset) AvgDocBytes() float64 {
 // growth formula f(m) = T·(1 − (1 − K/T)^m). The walk over the directory
 // happens once; repeat calls return the memoized value.
 func (s *Subset) Stats() Stats {
-	s.statsOnce.Do(func() {
+	s.der.statsOnce.Do(func() {
 		parent := s.c.stats
 		st := Stats{N: int64(len(s.ids)), PageSize: parent.PageSize}
 		if st.N == 0 {
-			s.stats = st
+			s.der.stats = st
 			return
 		}
 		var cells int64
@@ -605,9 +620,9 @@ func (s *Subset) Stats() Stats {
 		st.S = float64(bytes) / float64(st.N) / float64(st.PageSize)
 		st.D = iosim.PagesForBytes(bytes, st.PageSize)
 		st.T = int64(math.Round(VocabularyGrowth(float64(parent.T), parent.K, float64(st.N))))
-		s.stats = st
+		s.der.stats = st
 	})
-	return s.stats
+	return s.der.stats
 }
 
 // Documents iterates the selected documents in id order via random

@@ -1,0 +1,42 @@
+package collection
+
+import "textjoin/internal/iosim"
+
+// WithView returns a copy of the collection whose storage access runs
+// through the given read-only I/O view: scans and fetches move the
+// view's private head positions and count into the view's Stats, never
+// touching the shared per-file head. The copy shares every immutable
+// table (directory, document frequencies, norms, memoized derived maps)
+// with the original, so it is cheap and its results are byte-identical.
+// A nil view returns the collection unchanged.
+func (c *Collection) WithView(v *iosim.View) *Collection {
+	if c == nil || v == nil {
+		return c
+	}
+	c2 := *c
+	c2.file = v.File(c.file)
+	return &c2
+}
+
+// WithView returns a copy of the subset (and of its base collection)
+// bound to the given read-only I/O view. See Collection.WithView.
+func (s *Subset) WithView(v *iosim.View) *Subset {
+	if s == nil || v == nil {
+		return s
+	}
+	return &Subset{c: s.c.WithView(v), ids: s.ids, der: s.der}
+}
+
+// ReaderWithView rebinds a Reader's storage access to the given view.
+// Collections and subsets return view-bound copies of their concrete
+// types (type assertions on the result keep working); memory-resident
+// readers, which perform no storage I/O, are returned unchanged.
+func ReaderWithView(r Reader, v *iosim.View) Reader {
+	switch t := r.(type) {
+	case *Collection:
+		return t.WithView(v)
+	case *Subset:
+		return t.WithView(v)
+	}
+	return r
+}

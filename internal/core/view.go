@@ -1,0 +1,34 @@
+package core
+
+import (
+	"textjoin/internal/collection"
+	"textjoin/internal/iosim"
+)
+
+// WithView returns a copy of the inputs with every storage-backed input
+// rebound to the read-only I/O view v: the outer reader, the inner
+// collection and both inverted files then perform all their page reads
+// through the view's private head positions and counters. Join
+// algorithms running on the returned inputs never touch shared head
+// state, so any number of them can run concurrently — each producing
+// results and Stats byte-identical to a serial run on a parked disk.
+//
+// Binding eagerly loads the inverted files' term indexes (idempotent;
+// charged to the shared files once) so no session performs shared-file
+// I/O mid-join. A nil view returns the inputs unchanged.
+func (in Inputs) WithView(v *iosim.View) (Inputs, error) {
+	if v == nil {
+		return in, nil
+	}
+	out := in
+	out.Outer = collection.ReaderWithView(in.Outer, v)
+	out.Inner = in.Inner.WithView(v)
+	var err error
+	if out.InnerInv, err = in.InnerInv.WithView(v); err != nil {
+		return Inputs{}, err
+	}
+	if out.OuterInv, err = in.OuterInv.WithView(v); err != nil {
+		return Inputs{}, err
+	}
+	return out, nil
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"textjoin/internal/btree"
 	"textjoin/internal/codec"
@@ -76,10 +77,29 @@ type InvertedFile struct {
 	entries *iosim.File
 	tree    *btree.BTree
 	stats   Stats
-	// index is the in-memory B+tree image; nil until LoadIndex.
+	// idx memoizes the in-memory B+tree image behind a pointer shared
+	// by every view-bound copy of the handle, so the one-time LoadIndex
+	// happens exactly once even when concurrent sessions race to it.
+	idx *indexState
+}
+
+// indexState holds the loaded term index: the in-memory B+tree image
+// plus each entry's byte extent derived from it. The mutex serializes
+// the one-time load; after that every access is read-only.
+type indexState struct {
+	mu    sync.Mutex
 	index *btree.MemIndex
-	// addrs/ends give each entry's byte extent, derived from the index.
 	addrs map[uint32]extent
+}
+
+// get returns the loaded index tables, or ErrNoIndex before LoadIndex.
+func (s *indexState) get() (*btree.MemIndex, map[uint32]extent, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.index == nil {
+		return nil, nil, ErrNoIndex
+	}
+	return s.index, s.addrs, nil
 }
 
 type extent struct {
@@ -204,7 +224,7 @@ func writeEntries(entryFile, treeFile *iosim.File, terms []uint32, cellsOf func(
 	if stats.Entries > 0 {
 		stats.J = float64(stats.Bytes) / float64(stats.Entries) / float64(stats.PageSize)
 	}
-	return &InvertedFile{entries: entryFile, tree: tree, stats: stats}, nil
+	return &InvertedFile{entries: entryFile, tree: tree, stats: stats, idx: &indexState{}}, nil
 }
 
 // Open re-attaches to an inverted file and its B+tree written earlier
@@ -217,6 +237,7 @@ func Open(entryFile, treeFile *iosim.File) (*InvertedFile, error) {
 		return &InvertedFile{
 			entries: entryFile,
 			stats:   Stats{PageSize: entryFile.PageSize(), I: entryFile.Pages()},
+			idx:     &indexState{},
 		}, nil
 	}
 	tree, err := btree.Open(treeFile)
@@ -235,6 +256,7 @@ func Open(entryFile, treeFile *iosim.File) (*InvertedFile, error) {
 			I:        entryFile.Pages(),
 			PageSize: entryFile.PageSize(),
 		},
+		idx: &indexState{},
 	}
 	cells := idx.Cells()
 	var totalCells int64
@@ -257,7 +279,6 @@ func Open(entryFile, treeFile *iosim.File) (*InvertedFile, error) {
 		f.stats.J = float64(f.stats.Bytes) / float64(f.stats.Entries) / float64(f.stats.PageSize)
 	}
 	// Reuse the already-loaded index for extents.
-	f.index = idx
 	addrs := make(map[uint32]extent, len(cells))
 	for i, c := range cells {
 		end := f.stats.Bytes
@@ -266,7 +287,8 @@ func Open(entryFile, treeFile *iosim.File) (*InvertedFile, error) {
 		}
 		addrs[c.Term] = extent{off: int64(c.Addr), length: end - int64(c.Addr)}
 	}
-	f.addrs = addrs
+	f.idx.index = idx
+	f.idx.addrs = addrs
 	return f, nil
 }
 
@@ -283,13 +305,15 @@ func (f *InvertedFile) File() *iosim.File { return f.entries }
 // of Bt sequential page reads) and prepares random entry fetches. It is
 // idempotent; repeat calls are free.
 func (f *InvertedFile) LoadIndex() (*btree.MemIndex, error) {
-	if f.index != nil {
-		return f.index, nil
+	f.idx.mu.Lock()
+	defer f.idx.mu.Unlock()
+	if f.idx.index != nil {
+		return f.idx.index, nil
 	}
 	if f.tree == nil {
-		f.index = btree.NewMemIndex(nil)
-		f.addrs = map[uint32]extent{}
-		return f.index, nil
+		f.idx.index = btree.NewMemIndex(nil)
+		f.idx.addrs = map[uint32]extent{}
+		return f.idx.index, nil
 	}
 	idx, err := f.tree.LoadAll()
 	if err != nil {
@@ -304,27 +328,26 @@ func (f *InvertedFile) LoadIndex() (*btree.MemIndex, error) {
 		}
 		addrs[c.Term] = extent{off: int64(c.Addr), length: end - int64(c.Addr)}
 	}
-	f.index = idx
-	f.addrs = addrs
+	f.idx.index = idx
+	f.idx.addrs = addrs
 	return idx, nil
 }
 
 // Index returns the loaded in-memory index, or an error when LoadIndex has
 // not been called.
 func (f *InvertedFile) Index() (*btree.MemIndex, error) {
-	if f.index == nil {
-		return nil, ErrNoIndex
-	}
-	return f.index, nil
+	idx, _, err := f.idx.get()
+	return idx, err
 }
 
 // EntryPages returns the number of pages a random fetch of term's entry
 // touches (the paper charges ⌈J⌉ pages per random entry read).
 func (f *InvertedFile) EntryPages(term uint32) (int64, error) {
-	if f.index == nil {
-		return 0, ErrNoIndex
+	_, addrs, err := f.idx.get()
+	if err != nil {
+		return 0, err
 	}
-	ext, ok := f.addrs[term]
+	ext, ok := addrs[term]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoTerm, term)
 	}
@@ -336,10 +359,11 @@ func (f *InvertedFile) EntryPages(term uint32) (int64, error) {
 // afterwards: consecutive fetches of unrelated terms are all random, as in
 // the paper's ⌈J⌉·α per-entry cost.
 func (f *InvertedFile) FetchEntry(term uint32) (*Entry, error) {
-	if f.index == nil {
-		return nil, ErrNoIndex
+	_, addrs, err := f.idx.get()
+	if err != nil {
+		return nil, err
 	}
-	ext, ok := f.addrs[term]
+	ext, ok := addrs[term]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoTerm, term)
 	}
@@ -358,19 +382,21 @@ func (f *InvertedFile) FetchEntry(term uint32) (*Entry, error) {
 // Contains reports whether term has an entry, using the loaded index
 // without touching storage.
 func (f *InvertedFile) Contains(term uint32) (bool, error) {
-	if f.index == nil {
-		return false, ErrNoIndex
+	idx, _, err := f.idx.get()
+	if err != nil {
+		return false, err
 	}
-	return f.index.Contains(term), nil
+	return idx.Contains(term), nil
 }
 
 // DocFreq returns the document frequency of term from the loaded index (0
 // when absent).
 func (f *InvertedFile) DocFreq(term uint32) (int64, error) {
-	if f.index == nil {
-		return 0, ErrNoIndex
+	idx, _, err := f.idx.get()
+	if err != nil {
+		return 0, err
 	}
-	c, ok := f.index.Lookup(term)
+	c, ok := idx.Lookup(term)
 	if !ok {
 		return 0, nil
 	}

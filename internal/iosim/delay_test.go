@@ -1,0 +1,75 @@
+package iosim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReadDelayTakesRealTime: with WithReadDelay every page read costs
+// real wall-clock time, while the I/O accounting stays exactly what a
+// free disk reports.
+func TestReadDelayTakesRealTime(t *testing.T) {
+	const delay = 2 * time.Millisecond
+	const pages = 5
+
+	build := func(opts ...Option) (*Disk, *File) {
+		d := NewDisk(append([]Option{WithPageSize(64)}, opts...)...)
+		f, err := d.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pages; i++ {
+			if _, err := f.AppendPage(make([]byte, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.ResetStats()
+		d.ParkHeads()
+		return d, f
+	}
+
+	scan := func(f *File) {
+		for i := int64(0); i < pages; i++ {
+			if _, err := f.ReadPage(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	slow, fslow := build(WithReadDelay(delay))
+	free, ffree := build()
+
+	begin := time.Now()
+	scan(fslow)
+	if elapsed := time.Since(begin); elapsed < pages*delay {
+		t.Errorf("delayed scan took %v, want at least %v", elapsed, pages*delay)
+	}
+	scan(ffree)
+
+	if slow.Stats() != free.Stats() {
+		t.Errorf("delay changed accounting: delayed %+v, free %+v", slow.Stats(), free.Stats())
+	}
+}
+
+// TestReadDelayAppliesToViews: view-bound clones read through the same
+// disk, so the device model covers concurrent sessions too.
+func TestReadDelayAppliesToViews(t *testing.T) {
+	const delay = 2 * time.Millisecond
+	d := NewDisk(WithPageSize(64), WithReadDelay(delay))
+	f, err := d.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AppendPage(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	v := d.View()
+	defer v.Close()
+	begin := time.Now()
+	if _, err := v.File(f).ReadPage(0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(begin); elapsed < delay {
+		t.Errorf("view read took %v, want at least %v", elapsed, delay)
+	}
+}

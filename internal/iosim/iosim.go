@@ -96,6 +96,12 @@ type Disk struct {
 	stats    Stats
 	closed   bool
 
+	// readDelay, when positive, charges every page read that much real
+	// wall-clock time, outside the disk lock — the device-latency knob
+	// for serving benchmarks. Zero (the default) keeps reads free, so
+	// analytic runs and tests are unaffected. Immutable after NewDisk.
+	readDelay time.Duration
+
 	// sharedHead, when true, makes all files share a single head: any
 	// read on file A after a read on file B is random even if it would
 	// have been sequential on A's own head. Models a single contended
@@ -130,6 +136,16 @@ func WithAlpha(alpha float64) Option {
 // collection.
 func WithSharedHead() Option {
 	return func(d *Disk) { d.sharedHead = true }
+}
+
+// WithReadDelay charges every successful page read d of real wall-clock
+// time, slept outside the disk lock so concurrent readers overlap their
+// waits exactly as they would on a real device. The accounting (Stats,
+// cost model, telemetry) is unchanged — the knob only makes simulated
+// I/O take real time, which is what serving benchmarks need to expose
+// the difference between serialized and concurrent execution.
+func WithReadDelay(d time.Duration) Option {
+	return func(dk *Disk) { dk.readDelay = d }
 }
 
 // NewDisk creates an empty simulated disk.
@@ -300,8 +316,15 @@ type File struct {
 	head  int64 // page index of the last page read; -1 = parked
 	stats Stats
 
+	// base and view are set on the session files handed out by
+	// View.File: page bytes come from base, head and stats are private
+	// to this session, and the counters merge into base on View.Close.
+	base *File
+	view *View
+
 	// Telemetry counters, resolved once per file when a collector is
-	// attached; nil (no-op) otherwise.
+	// attached; nil (no-op) otherwise. View clones delegate to their
+	// base file's counters so SetCollector keeps working mid-session.
 	telSeq    *telemetry.Counter
 	telRand   *telemetry.Counter
 	telWrites *telemetry.Counter
@@ -333,14 +356,14 @@ func (f *File) Disk() *Disk { return f.disk }
 func (f *File) Pages() int64 {
 	f.disk.mu.Lock()
 	defer f.disk.mu.Unlock()
-	return int64(len(f.pages))
+	return int64(len(f.pagesLocked()))
 }
 
 // Size returns the file size in bytes.
 func (f *File) Size() int64 {
 	f.disk.mu.Lock()
 	defer f.disk.mu.Unlock()
-	return int64(len(f.pages)) * int64(f.disk.pageSize)
+	return int64(len(f.pagesLocked())) * int64(f.disk.pageSize)
 }
 
 // Stats returns the per-file I/O counters.
@@ -364,6 +387,9 @@ func (f *File) ParkHead() {
 func (f *File) AppendPage(data []byte) (int64, error) {
 	f.disk.mu.Lock()
 	defer f.disk.mu.Unlock()
+	if f.base != nil {
+		return 0, fmt.Errorf("%w: append to %q", ErrReadOnlyView, f.name)
+	}
 	if len(data) > f.disk.pageSize {
 		return 0, fmt.Errorf("iosim: page data %d bytes exceeds page size %d", len(data), f.disk.pageSize)
 	}
@@ -381,6 +407,9 @@ func (f *File) AppendPage(data []byte) (int64, error) {
 func (f *File) WritePage(idx int64, data []byte) error {
 	f.disk.mu.Lock()
 	defer f.disk.mu.Unlock()
+	if f.base != nil {
+		return fmt.Errorf("%w: write to %q", ErrReadOnlyView, f.name)
+	}
 	if len(data) > f.disk.pageSize {
 		return fmt.Errorf("iosim: page data %d bytes exceeds page size %d", len(data), f.disk.pageSize)
 	}
@@ -407,33 +436,47 @@ func (f *File) WritePage(idx int64, data []byte) error {
 // and must not be modified.
 func (f *File) ReadPage(idx int64) ([]byte, error) {
 	f.disk.mu.Lock()
-	defer f.disk.mu.Unlock()
-	return f.readPageLocked(idx)
+	page, err := f.readPageLocked(idx)
+	f.disk.mu.Unlock()
+	if err == nil && f.disk.readDelay > 0 {
+		time.Sleep(f.disk.readDelay)
+	}
+	return page, err
 }
 
 func (f *File) readPageLocked(idx int64) ([]byte, error) {
-	if idx < 0 || idx >= int64(len(f.pages)) {
-		return nil, fmt.Errorf("%w: page %d of %d in %q", ErrPageRange, idx, len(f.pages), f.name)
+	pages := f.pagesLocked()
+	if idx < 0 || idx >= int64(len(pages)) {
+		return nil, fmt.Errorf("%w: page %d of %d in %q", ErrPageRange, idx, len(pages), f.name)
+	}
+	if f.view != nil && f.view.closed {
+		return nil, fmt.Errorf("%w: read of %q", ErrViewClosed, f.name)
 	}
 	if err := f.disk.checkFault(f); err != nil {
 		return nil, err
 	}
+	// A view session carries its own shared-head position and its own
+	// disk-level counters; direct reads use the disk's.
+	lastFile, aggStats, tel := &f.disk.lastFile, &f.disk.stats, f
+	if f.view != nil {
+		lastFile, aggStats, tel = &f.view.lastFile, &f.view.stats, f.base
+	}
 	sequential := f.head >= 0 && idx == f.head+1
-	if f.disk.sharedHead && f.disk.lastFile != f {
+	if f.disk.sharedHead && *lastFile != f {
 		sequential = false
 	}
 	if sequential {
 		f.stats.SeqReads++
-		f.disk.stats.SeqReads++
-		f.telSeq.Add(1)
+		aggStats.SeqReads++
+		tel.telSeq.Add(1)
 	} else {
 		f.stats.RandReads++
-		f.disk.stats.RandReads++
-		f.telRand.Add(1)
+		aggStats.RandReads++
+		tel.telRand.Add(1)
 	}
 	f.head = idx
-	f.disk.lastFile = f
-	return f.pages[idx], nil
+	*lastFile = f
+	return pages[idx], nil
 }
 
 // ReadRange reads pages [first, first+n) in order, invoking fn for each

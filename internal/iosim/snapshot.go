@@ -28,6 +28,13 @@ import (
 const (
 	snapshotMagic   = 0x544a444b // "TJDK"
 	snapshotVersion = 1
+
+	// Parsing limits: a snapshot claiming more than these is rejected
+	// up front instead of trusted for allocation sizing, so a truncated
+	// or corrupt header can never drive an out-of-memory allocation.
+	maxSnapshotNameLen = 1 << 12
+	maxSnapshotFiles   = 1 << 20
+	maxSnapshotPages   = 1 << 28
 )
 
 // ErrBadSnapshot is returned when a snapshot cannot be parsed.
@@ -124,10 +131,16 @@ func ReadDisk(r io.Reader) (*Disk, error) {
 	if err := binary.Read(br, binary.LittleEndian, &nFiles); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
+	if nFiles > maxSnapshotFiles {
+		return nil, fmt.Errorf("%w: %d files", ErrBadSnapshot, nFiles)
+	}
 	for i := uint32(0); i < nFiles; i++ {
 		var nameLen uint16
 		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		if nameLen == 0 || nameLen > maxSnapshotNameLen {
+			return nil, fmt.Errorf("%w: file name length %d", ErrBadSnapshot, nameLen)
 		}
 		nameBytes := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, nameBytes); err != nil {
@@ -141,13 +154,18 @@ func ReadDisk(r io.Reader) (*Disk, error) {
 		if err := binary.Read(br, binary.LittleEndian, &nPages); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 		}
-		f.pages = make([][]byte, nPages)
+		if nPages > maxSnapshotPages {
+			return nil, fmt.Errorf("%w: %d pages in %q", ErrBadSnapshot, nPages, nameBytes)
+		}
+		// Grow the page table as pages actually arrive rather than
+		// trusting the declared count, so truncation fails on the first
+		// missing page with only that page's memory committed.
 		for p := uint32(0); p < nPages; p++ {
 			page := make([]byte, pageSize)
 			if _, err := io.ReadFull(br, page); err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 			}
-			f.pages[p] = page
+			f.pages = append(f.pages, page)
 		}
 	}
 	// Restoration is not I/O in the model's sense.

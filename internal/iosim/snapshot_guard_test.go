@@ -1,0 +1,87 @@
+package iosim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// snapHeader serializes a snapshot prefix from explicit field values so
+// tests can craft malformed streams byte by byte.
+func snapHeader(t *testing.T, fields ...any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, f := range fields {
+		if s, ok := f.(string); ok {
+			buf.WriteString(s)
+			continue
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestReadDiskRejectsCorruptHeaders pins every guard in ReadDisk: each
+// crafted stream must fail with ErrBadSnapshot — never a panic, and
+// never an allocation sized by the attacker-controlled count.
+func TestReadDiskRejectsCorruptHeaders(t *testing.T) {
+	valid := func() []byte {
+		d := NewDisk(WithPageSize(32))
+		f, _ := d.Create("f")
+		f.AppendPage([]byte("data"))
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", snapHeader(t, uint32(0xdeadbeef))},
+		{"truncated magic", valid[:2]},
+		{"unsupported version", snapHeader(t, uint32(snapshotMagic), uint16(99))},
+		{"truncated after version", snapHeader(t, uint32(snapshotMagic), uint16(snapshotVersion))},
+		{"zero page size", snapHeader(t, uint32(snapshotMagic), uint16(snapshotVersion), uint32(0))},
+		{"huge page size", snapHeader(t, uint32(snapshotMagic), uint16(snapshotVersion), uint32(1<<30))},
+		{"oversized file count", snapHeader(t, uint32(snapshotMagic), uint16(snapshotVersion),
+			uint32(32), float64(5), uint32(maxSnapshotFiles+1))},
+		{"zero name length", snapHeader(t, uint32(snapshotMagic), uint16(snapshotVersion),
+			uint32(32), float64(5), uint32(1), uint16(0))},
+		{"oversized name length", snapHeader(t, uint32(snapshotMagic), uint16(snapshotVersion),
+			uint32(32), float64(5), uint32(1), uint16(maxSnapshotNameLen+1))},
+		{"truncated name", snapHeader(t, uint32(snapshotMagic), uint16(snapshotVersion),
+			uint32(32), float64(5), uint32(1), uint16(4), "fi")},
+		{"oversized page count", snapHeader(t, uint32(snapshotMagic), uint16(snapshotVersion),
+			uint32(32), float64(5), uint32(1), uint16(1), "f", uint32(maxSnapshotPages+1))},
+		{"declared pages never arrive", snapHeader(t, uint32(snapshotMagic), uint16(snapshotVersion),
+			uint32(32), float64(5), uint32(1), uint16(1), "f", uint32(1<<20))},
+		{"duplicate file name", snapHeader(t, uint32(snapshotMagic), uint16(snapshotVersion),
+			uint32(32), float64(5), uint32(2),
+			uint16(1), "f", uint32(0),
+			uint16(1), "f", uint32(0))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadDisk(bytes.NewReader(tc.data)); !errors.Is(err, ErrBadSnapshot) {
+				t.Errorf("err = %v, want ErrBadSnapshot", err)
+			}
+		})
+	}
+
+	// Every truncation point of a valid snapshot fails cleanly too.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := ReadDisk(bytes.NewReader(valid[:cut])); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("truncated at %d: err = %v, want ErrBadSnapshot", cut, err)
+		}
+	}
+	if _, err := ReadDisk(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("intact snapshot rejected: %v", err)
+	}
+}

@@ -83,6 +83,9 @@ type family struct {
 //	join.<alg>.<stat>              → textjoin_join_<alg>_<stat>_total
 //	plan.chosen.<alg>              → textjoin_plan_chosen_total        {alg}
 //	query.<stat>                   → textjoin_query_<stat>_total
+//	http.<stat>                    → textjoin_http_<stat>_total, or the
+//	                                 suffix-less gauge family for levels
+//	                                 (see gaugeFamilies)
 //	anything else                  → textjoin_<sanitized>_total
 func mapCounter(name string) (string, []labelPair) {
 	switch {
@@ -131,8 +134,23 @@ func mapCounter(name string) (string, []labelPair) {
 			[]labelPair{{"alg", strings.TrimPrefix(name, "plan.chosen.")}}
 	case strings.HasPrefix(name, "query."):
 		return Namespace + "_query_" + sanitize(strings.TrimPrefix(name, "query.")) + "_total", nil
+	case strings.HasPrefix(name, "http."):
+		stat := sanitize(strings.TrimPrefix(name, "http."))
+		if g := Namespace + "_http_" + stat; gaugeFamilies[g] {
+			return g, nil
+		}
+		return Namespace + "_http_" + stat + "_total", nil
 	}
 	return Namespace + "_" + sanitize(name) + "_total", nil
+}
+
+// gaugeFamilies are families fed by telemetry counters that the serving
+// layer moves both up and down (Add(±1) around a state change): their
+// exported value is a level, not a monotone total, so they are typed
+// gauge, carry no _total suffix, and get no derived per-second rate.
+var gaugeFamilies = map[string]bool{
+	Namespace + "_http_inflight":    true,
+	Namespace + "_http_queue_depth": true,
 }
 
 // mapHistogram translates a telemetry histogram name into a family name
@@ -140,6 +158,7 @@ func mapCounter(name string) (string, []labelPair) {
 //
 //	io.readat.pages / io.readat.ns → textjoin_iosim_readat_{pages,ns}
 //	phase.<phase>.ns               → textjoin_phase_ns {phase}
+//	http.request.<endpoint>.ns     → textjoin_http_request_ns {endpoint}
 //	<alg>.accum.occupancy          → textjoin_join_<alg>_accum_occupancy
 //	anything else                  → textjoin_<sanitized>
 func mapHistogram(name string) (string, []labelPair) {
@@ -149,6 +168,8 @@ func mapHistogram(name string) (string, []labelPair) {
 		return Namespace + "_iosim_readat_" + sanitize(strings.TrimPrefix(name, "io.readat.")), nil
 	case len(parts) == 3 && parts[0] == "phase" && parts[2] == "ns":
 		return Namespace + "_phase_ns", []labelPair{{"phase", parts[1]}}
+	case len(parts) == 4 && parts[0] == "http" && parts[1] == "request" && parts[3] == "ns":
+		return Namespace + "_http_request_ns", []labelPair{{"endpoint", sanitize(parts[2])}}
 	case len(parts) == 3 && parts[1] == "accum" && parts[2] == "occupancy":
 		return Namespace + "_join_" + sanitize(parts[0]) + "_accum_occupancy", nil
 	}
@@ -177,6 +198,14 @@ func helpFor(name string) string {
 		return "Signature prefilter pruning outcomes by join algorithm."
 	case name == Namespace+"_phase_ns":
 		return "Span durations per execution phase in nanoseconds."
+	case name == Namespace+"_http_inflight":
+		return "Join requests currently admitted and executing."
+	case name == Namespace+"_http_queue_depth":
+		return "Join requests parked in the admission queue."
+	case name == Namespace+"_http_rejected_total":
+		return "Join requests rejected by admission control (queue full or wait deadline)."
+	case name == Namespace+"_http_request_ns":
+		return "HTTP request latency per endpoint in nanoseconds."
 	case strings.HasPrefix(name, Namespace+"_join_"):
 		return "Join execution counter (see DESIGN.md §10 naming scheme)."
 	case strings.HasPrefix(name, Namespace+"_query_"):
@@ -248,7 +277,11 @@ func (fs *familySet) addFloat(name, typ string, labels []labelPair, v float64) {
 func (fs *familySet) addSnapshot(s *telemetry.Snapshot) {
 	for _, c := range s.Counters {
 		name, labels := mapCounter(c.Name)
-		fs.addInt(name, "counter", labels, c.Value)
+		typ := "counter"
+		if gaugeFamilies[name] {
+			typ = "gauge"
+		}
+		fs.addInt(name, typ, labels, c.Value)
 	}
 	for _, h := range s.Histograms {
 		name, labels := mapHistogram(h.Name)
@@ -269,6 +302,10 @@ func (fs *familySet) addRates(diff *telemetry.Snapshot, elapsed float64) {
 	}
 	for _, c := range diff.Counters {
 		name, labels := mapCounter(c.Name)
+		if gaugeFamilies[name] {
+			// A level can fall between scrapes; its delta is not a rate.
+			continue
+		}
 		name = strings.TrimSuffix(name, "_total") + "_per_second"
 		fs.addFloat(name, "gauge", labels, float64(c.Value)/elapsed)
 	}

@@ -26,6 +26,10 @@ func demoCollector() *telemetry.Collector {
 	c.Counter("join.vvm.accum.flat").Add(2)
 	c.Counter("plan.chosen.hvnl").Add(1)
 	c.Counter("query.statements").Add(5)
+	c.Counter("http.inflight").Add(2)
+	c.Counter("http.queue_depth").Add(1)
+	c.Counter("http.rejected").Add(4)
+	c.Histogram("http.request.join.ns", telemetry.DefaultLatencyBuckets).Observe(5000)
 	c.Histogram("io.readat.pages", telemetry.DefaultSizeBuckets).Observe(3)
 	c.Histogram("hvnl.accum.occupancy", telemetry.DefaultSizeBuckets).Observe(17)
 	c.StartSpan(telemetry.PhaseScan, "demo").End()
@@ -52,6 +56,14 @@ func TestEncodeNaming(t *testing.T) {
 		`textjoin_join_vvm_accum_total{kind="flat"} 2`,
 		`textjoin_plan_chosen_total{alg="hvnl"} 1`,
 		`textjoin_query_statements_total 5`,
+		"# TYPE textjoin_http_inflight gauge",
+		`textjoin_http_inflight 2`,
+		"# TYPE textjoin_http_queue_depth gauge",
+		`textjoin_http_queue_depth 1`,
+		"# TYPE textjoin_http_rejected_total counter",
+		`textjoin_http_rejected_total 4`,
+		"# TYPE textjoin_http_request_ns histogram",
+		`textjoin_http_request_ns_count{endpoint="join"} 1`,
 		`textjoin_trace_entries 2`,
 		`textjoin_trace_dropped_total 0`,
 		"# TYPE textjoin_phase_ns histogram",
@@ -119,6 +131,47 @@ func TestExporterRates(t *testing.T) {
 	}
 	if err := Lint([]byte(second.String())); err != nil {
 		t.Fatalf("rated scrape rejected by parser: %v", err)
+	}
+}
+
+// TestGaugeFamiliesGetNoRates: serving-level gauges (inflight, queue
+// depth) move both ways, so a per-second delta would be meaningless —
+// the rate pass must skip them while still rating true counters.
+func TestGaugeFamiliesGetNoRates(t *testing.T) {
+	c := telemetry.New()
+	inflight := c.Counter("http.inflight")
+	inflight.Add(3)
+	rejected := c.Counter("http.rejected")
+	rejected.Add(1)
+
+	now := time.Unix(100, 0)
+	e := NewExporter(c, WithExporterClock(func() time.Time {
+		now = now.Add(2 * time.Second)
+		return now
+	}))
+	var first strings.Builder
+	if err := e.WriteMetrics(&first); err != nil {
+		t.Fatal(err)
+	}
+	inflight.Add(-2) // requests finished
+	rejected.Add(6)
+	var second strings.Builder
+	if err := e.WriteMetrics(&second); err != nil {
+		t.Fatal(err)
+	}
+	out := second.String()
+	if strings.Contains(out, "textjoin_http_inflight_per_second") ||
+		strings.Contains(out, "textjoin_http_queue_depth_per_second") {
+		t.Errorf("gauge family got a rate series:\n%s", out)
+	}
+	if !strings.Contains(out, "textjoin_http_rejected_per_second 3\n") {
+		t.Errorf("counter family lost its rate series:\n%s", out)
+	}
+	if !strings.Contains(out, "textjoin_http_inflight 1\n") {
+		t.Errorf("gauge level not exported:\n%s", out)
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("scrape rejected by parser: %v\n%s", err, out)
 	}
 }
 

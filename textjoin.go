@@ -38,6 +38,7 @@ package textjoin
 import (
 	"io"
 	"net/http"
+	"time"
 
 	"textjoin/internal/cluster"
 	"textjoin/internal/collection"
@@ -251,6 +252,7 @@ type WorkspaceOption func(*workspaceConfig)
 type workspaceConfig struct {
 	pageSize int
 	alpha    float64
+	ioDelay  time.Duration
 }
 
 // WithPageSize sets the simulated page size in bytes (default 4096).
@@ -263,13 +265,25 @@ func WithAlpha(a float64) WorkspaceOption {
 	return func(c *workspaceConfig) { c.alpha = a }
 }
 
+// WithIODelay makes every simulated page read cost d of real wall-clock
+// time (default 0: reads are free). The I/O accounting is unchanged;
+// the knob exists so serving benchmarks can model device latency that
+// concurrent requests overlap and serialized ones cannot.
+func WithIODelay(d time.Duration) WorkspaceOption {
+	return func(c *workspaceConfig) { c.ioDelay = d }
+}
+
 // NewWorkspace creates a workspace over a fresh simulated disk.
 func NewWorkspace(opts ...WorkspaceOption) *Workspace {
 	cfg := workspaceConfig{pageSize: iosim.DefaultPageSize, alpha: iosim.DefaultAlpha}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Workspace{disk: iosim.NewDisk(iosim.WithPageSize(cfg.pageSize), iosim.WithAlpha(cfg.alpha))}
+	return &Workspace{disk: iosim.NewDisk(
+		iosim.WithPageSize(cfg.pageSize),
+		iosim.WithAlpha(cfg.alpha),
+		iosim.WithReadDelay(cfg.ioDelay),
+	)}
 }
 
 // Disk exposes the underlying simulated disk (for I/O statistics).
@@ -283,6 +297,19 @@ func (w *Workspace) ResetIOStats() { w.disk.ResetStats() }
 // counts as random regardless of prior activity — call it between
 // measured runs to make their I/O classification order-independent.
 func (w *Workspace) ParkHeads() { w.disk.ParkHeads() }
+
+// IOView is a read-only I/O session over the workspace disk: it carries
+// its own head positions (initially parked) and its own IOStats, and
+// merges its counters back into the shared totals on Close. Bind a
+// join's Inputs to a view with Inputs.WithView, and any number of joins
+// can run concurrently, each reporting the same results and Stats a
+// serial run would.
+type IOView = iosim.View
+
+// Snapshot opens a read-only I/O session over the workspace's immutable
+// built structures. Call Close on the returned view when the request is
+// done so its I/O counters merge into the workspace totals.
+func (w *Workspace) Snapshot() *IOView { return w.disk.View() }
 
 // SetTelemetry attaches a collector to the workspace disk so per-file
 // sequential/random read counters and page/latency histograms are
@@ -391,6 +418,17 @@ func NewTokenizer(dict *Dictionary) *Tokenizer {
 
 // Similarity returns the paper's base similarity of two documents.
 func Similarity(a, b *Document) float64 { return document.Similarity(a, b) }
+
+// Join failure classes, for callers (such as servers) that map them to
+// distinct outcomes. Match with errors.Is: join errors wrap these.
+var (
+	// ErrInsufficientMemory marks a join whose memory budget cannot
+	// hold the algorithm's minimal working set.
+	ErrInsufficientMemory = core.ErrInsufficientMemory
+	// ErrMissingInput marks a join lacking a required structure (an
+	// inverted file, a collection needed by the weighting, ...).
+	ErrMissingInput = core.ErrMissingInput
+)
 
 // Join runs one of the three algorithms.
 func Join(alg Algorithm, in Inputs, opts Options) ([]Result, *JoinStats, error) {
