@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json bench-prefilter bench-load loadgen-smoke lint lint-report
+.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json bench-prefilter bench-lsh bench-load loadgen-smoke lint lint-report
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test: build
 # snapshots). It finishes with the two observability smokes: the
 # self-driving textjoind endpoint check and the baseline-checked
 # benchmark grid.
-verify: obs-smoke loadgen-smoke bench-json bench-prefilter
+verify: obs-smoke loadgen-smoke bench-json bench-prefilter bench-lsh
 	$(GO) vet ./...
 	$(GO) run ./cmd/lintcheck
 	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/... ./internal/telemetry/... ./internal/metrics/... ./cmd/textjoind/...
@@ -110,3 +110,13 @@ bench-load:
 # the baseline with: go run ./cmd/benchreport -prefilter -json BENCH_PR6.json
 bench-prefilter:
 	$(GO) run ./cmd/benchreport -prefilter -q -baseline BENCH_PR6.json
+
+# bench-lsh runs the LSH recall-vs-speed grid: clustered shapes, exact
+# ground-truth cells plus every banding shape, with recall measured
+# against the exact result pairs (not estimated). The run itself fails
+# unless some cell reaches recall ≥ 0.9 at no more than half the best
+# exact join's page reads, and the baseline gate fails if the frontier
+# drifts from the checked-in BENCH_PR8.json. Regenerate the baseline
+# with: go run ./cmd/benchreport -lsh -json BENCH_PR8.json
+bench-lsh:
+	$(GO) run ./cmd/benchreport -lsh -q -baseline BENCH_PR8.json

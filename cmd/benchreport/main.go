@@ -31,6 +31,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0, "relative deviation tolerated by the baseline comparison (0 = exact)")
 	calibrate := flag.Bool("calibrate", false, "audit cost-model calibration and include it in the report")
 	prefilter := flag.Bool("prefilter", false, "run the signature-prefilter grid (clustered shapes, cells with the filter off and on) instead of the main grid")
+	lshGrid := flag.Bool("lsh", false, "run the LSH recall-vs-speed grid (clustered shapes, exact ground-truth cells plus every banding shape, measured recall) instead of the main grid")
 	calReport := flag.String("calreport", "", "write the calibration report to this file (implies -calibrate)")
 	quiet := flag.Bool("q", false, "suppress the human-readable table")
 	flag.Int64Var(&cfg.Scale, "scale", cfg.Scale, "profile shrink divisor")
@@ -50,9 +51,12 @@ func main() {
 	}
 
 	var report *Report
-	if *prefilter {
+	switch {
+	case *prefilter:
 		report, err = runPrefilterGrid(cfg)
-	} else {
+	case *lshGrid:
+		report, err = runLSHGrid(cfg)
+	default:
 		report, err = runGrid(cfg, *calibrate)
 	}
 	if err != nil {
@@ -62,6 +66,9 @@ func main() {
 		writeHuman(os.Stdout, report)
 		if *prefilter {
 			writePrefilterSummary(os.Stdout, report)
+		}
+		if *lshGrid {
+			writeLSHSummary(os.Stdout, report)
 		}
 	}
 

@@ -89,6 +89,93 @@ func TestGridShape(t *testing.T) {
 	}
 }
 
+// TestLSHGridDeterminism extends the byte-identical-reports property to
+// the LSH grid, whose baseline BENCH_PR8.json is diff-checked in CI.
+func TestLSHGridDeterminism(t *testing.T) {
+	r1, err := runLSHGrid(defaultBenchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := runLSHGrid(defaultBenchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Errorf("LSH reports differ across runs:\n%s\n%s", j1, j2)
+	}
+}
+
+// TestLSHGridShape pins the grid's structure and the semantics of its
+// cells: exact cells carry no recall or probe counters, LSH cells carry
+// a measured recall in (0, 1] and a full probe/skip account, the
+// serial/parallel pairs hash identically, and the frontier gate the run
+// enforces (recall ≥ 0.9 at ≤ half the best exact page reads) is met by
+// at least one serial LSH cell.
+func TestLSHGridShape(t *testing.T) {
+	cfg := defaultBenchConfig()
+	report, err := runLSHGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(pfShapes()) * (2 + len(lshGridConfigs())) * len(cfg.Workers)
+	if len(report.Cells) != wantCells {
+		t.Errorf("got %d cells, want %d", len(report.Cells), wantCells)
+	}
+
+	bestExact := map[string]int64{}
+	for _, c := range report.Cells {
+		if strings.HasPrefix(c.Algorithm, "LSH-") {
+			continue
+		}
+		if c.Recall != 0 || c.BucketProbes != 0 || c.Candidates != 0 {
+			t.Errorf("%s: exact cell carries LSH fields: recall %v, probes %d, candidates %d",
+				c.key(), c.Recall, c.BucketProbes, c.Candidates)
+		}
+		if c.Workers != 1 {
+			continue
+		}
+		reads := c.SeqReads + c.RandReads
+		if cur, ok := bestExact[c.Shape]; !ok || reads < cur {
+			bestExact[c.Shape] = reads
+		}
+	}
+
+	gateMet := false
+	serial := map[string]Cell{}
+	for _, c := range report.Cells {
+		if !strings.HasPrefix(c.Algorithm, "LSH-") {
+			continue
+		}
+		if c.Recall <= 0 || c.Recall > 1 {
+			t.Errorf("%s: measured recall %v outside (0, 1]", c.key(), c.Recall)
+		}
+		if c.BucketProbes <= 0 || c.Candidates <= 0 {
+			t.Errorf("%s: LSH cell missing probe counters: %d probes, %d candidates",
+				c.key(), c.BucketProbes, c.Candidates)
+		}
+		if c.Workers == 1 {
+			serial[c.Shape+"/"+c.Algorithm] = c
+			reads := c.SeqReads + c.RandReads
+			if c.Recall >= lshRecallFloor && float64(reads)*lshSpeedupFloor <= float64(bestExact[c.Shape]) {
+				gateMet = true
+			}
+		} else if s := serial[c.Shape+"/"+c.Algorithm]; c.ResultsHash != s.ResultsHash {
+			t.Errorf("%s: parallel results diverge from serial", c.key())
+		}
+	}
+	if !gateMet {
+		t.Error("no serial LSH cell meets the recall/speedup gate")
+	}
+}
+
 func TestCompare(t *testing.T) {
 	cur, err := runGrid(tinyConfig(), false)
 	if err != nil {

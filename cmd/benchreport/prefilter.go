@@ -121,7 +121,7 @@ func runPrefilterGrid(cfg BenchConfig) (*Report, error) {
 				cfg.MemoryPages = 64
 			}
 			for _, workers := range cfg.Workers {
-				off, err := runCell(env, cfg, sh.name, alg, workers)
+				off, _, err := runCell(env, cfg, sh.name, alg, workers)
 				if err != nil {
 					return nil, fmt.Errorf("%s/%v/w%d: %v", sh.name, alg, workers, err)
 				}

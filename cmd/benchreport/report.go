@@ -66,6 +66,12 @@ type Cell struct {
 	ClustersSkipped int64 `json:"clusters_skipped,omitempty"`
 	DocsSkipped     int64 `json:"docs_skipped,omitempty"`
 	FalsePasses     int64 `json:"false_passes,omitempty"`
+	// Approximate-join fields; only the LSH grid's "LSH-b*r*" cells
+	// carry non-zero values. Recall is measured against the exact
+	// ground-truth pair set of the same shape, not estimated.
+	Recall       float64 `json:"recall,omitempty"`
+	BucketProbes int64   `json:"bucket_probes,omitempty"`
+	Candidates   int64   `json:"candidates,omitempty"`
 	// ResultsHash fingerprints the full result set, so the baseline
 	// comparison also catches correctness regressions (and proves the
 	// parallel variants produce serial-identical output).
@@ -167,7 +173,7 @@ func runGrid(cfg BenchConfig, calibrate bool) (*Report, error) {
 		measured := map[string]float64{}
 		for _, alg := range []textjoin.Algorithm{textjoin.HHNL, textjoin.HVNL, textjoin.VVM} {
 			for _, workers := range cfg.Workers {
-				cell, err := runCell(env, cfg, sh.name, alg, workers)
+				cell, _, err := runCell(env, cfg, sh.name, alg, workers)
 				if err != nil {
 					return nil, fmt.Errorf("%s/%v/w%d: %v", sh.name, alg, workers, err)
 				}
@@ -276,7 +282,10 @@ func (e *shapeEnv) options(cfg BenchConfig) textjoin.Options {
 	return textjoin.Options{Lambda: cfg.Lambda, MemoryPages: cfg.MemoryPages, Telemetry: e.tel}
 }
 
-func runCell(env *shapeEnv, cfg BenchConfig, shapeName string, alg textjoin.Algorithm, workers int) (Cell, error) {
+// runCell measures one (shape, algorithm, workers) grid point. The raw
+// results are returned alongside the cell so grids that need them — the
+// LSH grid's ground truth — avoid a second, head-position-dependent run.
+func runCell(env *shapeEnv, cfg BenchConfig, shapeName string, alg textjoin.Algorithm, workers int) (Cell, []textjoin.Result, error) {
 	// Park the heads so each cell's sequential/random classification is
 	// independent of where the previous cell finished.
 	env.ws.ParkHeads()
@@ -295,7 +304,7 @@ func runCell(env *shapeEnv, cfg BenchConfig, shapeName string, alg textjoin.Algo
 		results, stats, err = textjoin.Join(alg, in, opts)
 	}
 	if err != nil {
-		return Cell{}, err
+		return Cell{}, nil, err
 	}
 	return Cell{
 		Shape:         shapeName,
@@ -310,7 +319,7 @@ func runCell(env *shapeEnv, cfg BenchConfig, shapeName string, alg textjoin.Algo
 		CacheHits:     stats.Cache.Hits,
 		CacheMisses:   stats.Cache.Misses,
 		ResultsHash:   hashResults(results),
-	}, nil
+	}, results, nil
 }
 
 // runIntegrated runs the planner on the shape and pairs its estimates
@@ -409,6 +418,9 @@ func compare(cur, base *Report, tolerance float64) []string {
 		check("pages_skipped", float64(c.PagesSkipped), float64(b.PagesSkipped))
 		check("docs_skipped", float64(c.DocsSkipped), float64(b.DocsSkipped))
 		check("false_passes", float64(c.FalsePasses), float64(b.FalsePasses))
+		check("recall", c.Recall, b.Recall)
+		check("bucket_probes", float64(c.BucketProbes), float64(b.BucketProbes))
+		check("candidates", float64(c.Candidates), float64(b.Candidates))
 		if c.ResultsHash != b.ResultsHash {
 			out = append(out, fmt.Sprintf("%s: results hash %s, baseline %s", b.key(), c.ResultsHash, b.ResultsHash))
 		}

@@ -58,9 +58,10 @@ func (t *targetList) Set(v string) error {
 }
 
 // defaultMix cycles through the serving profiles the acceptance
-// criterion names: all three algorithms, serial and parallel variants,
-// prefilter on and off, plus the integrated planner.
-const defaultMix = "alg=hhnl|alg=hvnl|alg=vvm|alg=hvnl&workers=2|alg=vvm&workers=2|alg=hhnl&prefilter=on|alg=hvnl&prefilter=on|alg=auto"
+// criterion names: all three exact algorithms, serial and parallel
+// variants, prefilter on and off, the approximate LSH join, plus the
+// integrated planner.
+const defaultMix = "alg=hhnl|alg=hvnl|alg=vvm|alg=hvnl&workers=2|alg=vvm&workers=2|alg=hhnl&prefilter=on|alg=hvnl&prefilter=on|mode=lsh|alg=auto"
 
 // report is the JSON artifact. Field order is fixed by the struct, all
 // floats are rounded to fixed precision, and no timestamps are recorded
@@ -79,12 +80,16 @@ type runConfig struct {
 }
 
 // runStat is one target's outcome. Rejected counts 503s (admission
-// control shedding load, by design); Errors everything else non-200.
+// control shedding load, by design); Unprocessable counts 422s (the
+// server admitted the request but the workspace cannot run that join —
+// a mix problem, not an overload signal); Errors everything else
+// non-200.
 type runStat struct {
 	Label            string  `json:"label"`
 	Requests         int64   `json:"requests"`
 	OK               int64   `json:"ok"`
 	Rejected         int64   `json:"rejected"`
+	Unprocessable    int64   `json:"unprocessable"`
 	Errors           int64   `json:"errors"`
 	ThroughputPerSec float64 `json:"throughput_per_sec"`
 	P50Ms            float64 `json:"p50_ms"`
@@ -213,16 +218,20 @@ arrivals:
 				reqBegin := time.Now()
 				resp, err := client.Get(url)
 				elapsed := time.Since(reqBegin)
+				status := 0
+				if resp != nil {
+					status = resp.StatusCode
+				}
 				mu.Lock()
 				defer mu.Unlock()
-				switch {
-				case err != nil:
-					st.Errors++
-				case resp.StatusCode == http.StatusOK:
+				switch classify(err, status) {
+				case outcomeOK:
 					st.OK++
 					latencies = append(latencies, elapsed.Seconds()*1e3)
-				case resp.StatusCode == http.StatusServiceUnavailable:
+				case outcomeRejected:
 					st.Rejected++
+				case outcomeUnprocessable:
+					st.Unprocessable++
 				default:
 					st.Errors++
 				}
@@ -248,6 +257,43 @@ arrivals:
 	return st
 }
 
+// outcome is a completed request's classification.
+type outcome int
+
+const (
+	// outcomeOK is a 200 — the join ran.
+	outcomeOK outcome = iota
+	// outcomeRejected is a 503 — admission control shed the request.
+	outcomeRejected
+	// outcomeUnprocessable is a 422 — the server admitted the request
+	// but the workspace cannot run that join (memory budget, missing
+	// structure). It indicts the mix, not the server's capacity, so it
+	// must not be lumped in with transport failures and 5xx errors.
+	outcomeUnprocessable
+	// outcomeError is everything else: transport failure or any other
+	// non-200 status.
+	outcomeError
+)
+
+// classify maps one request's transport error and HTTP status to its
+// outcome bucket. A transport error always wins: there is no status
+// worth reading when the request never completed.
+func classify(err error, status int) outcome {
+	if err != nil {
+		return outcomeError
+	}
+	switch status {
+	case http.StatusOK:
+		return outcomeOK
+	case http.StatusServiceUnavailable:
+		return outcomeRejected
+	case http.StatusUnprocessableEntity:
+		return outcomeUnprocessable
+	default:
+		return outcomeError
+	}
+}
+
 // percentile returns the q-quantile of sorted values (nearest-rank).
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
@@ -267,11 +313,11 @@ func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }
 
 // printTable renders the human-readable summary.
 func printTable(w io.Writer, runs []runStat) {
-	fmt.Fprintf(w, "%-12s %8s %8s %8s %8s %10s %9s %9s %9s %9s %9s\n",
-		"target", "requests", "ok", "rejected", "errors", "thrpt/s", "p50ms", "p90ms", "p99ms", "p999ms", "maxms")
+	fmt.Fprintf(w, "%-12s %8s %8s %8s %8s %8s %10s %9s %9s %9s %9s %9s\n",
+		"target", "requests", "ok", "rejected", "unproc", "errors", "thrpt/s", "p50ms", "p90ms", "p99ms", "p999ms", "maxms")
 	for _, r := range runs {
-		fmt.Fprintf(w, "%-12s %8d %8d %8d %8d %10.1f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
-			r.Label, r.Requests, r.OK, r.Rejected, r.Errors,
+		fmt.Fprintf(w, "%-12s %8d %8d %8d %8d %8d %10.1f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			r.Label, r.Requests, r.OK, r.Rejected, r.Unprocessable, r.Errors,
 			r.ThroughputPerSec, r.P50Ms, r.P90Ms, r.P99Ms, r.P999Ms, r.MaxMs)
 	}
 }
@@ -288,6 +334,8 @@ func sanity(runs []runStat) error {
 			return fmt.Errorf("%s: %d requests failed", r.Label, r.Errors)
 		case r.Rejected > 0:
 			return fmt.Errorf("%s: %d requests rejected", r.Label, r.Rejected)
+		case r.Unprocessable > 0:
+			return fmt.Errorf("%s: %d requests unprocessable", r.Label, r.Unprocessable)
 		case r.OK != r.Requests:
 			return fmt.Errorf("%s: %d of %d requests unaccounted for", r.Label, r.Requests-r.OK, r.Requests)
 		case r.P50Ms <= 0 || r.P99Ms < r.P50Ms || r.MaxMs < r.P99Ms:

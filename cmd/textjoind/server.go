@@ -70,6 +70,7 @@ type server struct {
 	inv1       *textjoin.InvertedFile
 	inv2       *textjoin.InvertedFile
 	sig1, sig2 *textjoin.SignatureSidecar
+	lsh1       *textjoin.LSHSidecar
 	tel        *textjoin.Telemetry
 	exporter   *textjoin.MetricsExporter
 	adm        *admitter
@@ -113,6 +114,13 @@ func newServer(cfg config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The MinHash sidecar covers the inner collection only: LSH generates
+	// candidates per outer document on the fly, so the outer side never
+	// needs one.
+	lsh1, err := ws.BuildLSH(c1, textjoin.LSHConfig{})
+	if err != nil {
+		return nil, err
+	}
 
 	// Load both term indexes up front: the one-time B+tree sweep is
 	// charged to startup, not to whichever request happens to arrive
@@ -136,6 +144,7 @@ func newServer(cfg config) (*server, error) {
 		inv2:     inv2,
 		sig1:     sig1,
 		sig2:     sig2,
+		lsh1:     lsh1,
 		tel:      tel,
 		exporter: textjoin.NewMetricsExporter(tel),
 		adm:      newAdmitter(cfg.BudgetBytes, cfg.QueueLen, cfg.QueueWait, tel),
@@ -206,7 +215,16 @@ type joinResponse struct {
 	QueueSeconds float64         `json:"queue_seconds"`
 	ExecSeconds  float64         `json:"exec_seconds"`
 	Prefilter    *prefilterStats `json:"prefilter,omitempty"`
+	LSH          *lshStats       `json:"lsh,omitempty"`
 	Results      []joinResult    `json:"results,omitempty"`
+}
+
+// lshStats reports the approximate join's candidate generation outcome.
+type lshStats struct {
+	BucketProbes int64 `json:"bucket_probes"`
+	Candidates   int64 `json:"candidates"`
+	PagesSkipped int64 `json:"pages_skipped"`
+	DocsSkipped  int64 `json:"docs_skipped"`
 }
 
 // prefilterStats reports the signature prefilter's pruning outcome.
@@ -227,12 +245,15 @@ type joinMatch struct {
 	Sim float64 `json:"sim"`
 }
 
-// handleJoin runs one join. Parameters: alg (auto, hhnl, hvnl, vvm;
+// handleJoin runs one join. Parameters: alg (auto, hhnl, hvnl, vvm, lsh;
 // default auto), lambda, workers (>1 selects the parallel variant of an
 // explicit algorithm), weighting (raw, cosine, tfidf), show (result rows
 // to include, default 3), prefilter (on, off; default off) to offer the
 // signature sidecars to the join — results are byte-identical either
-// way, only the I/O pattern changes.
+// way, only the I/O pattern changes. mode (exact, lsh; default exact)
+// set to lsh runs the approximate MinHash join (alg=lsh is the same
+// request), and recall in (0, 1] offers the LSH plan to alg=auto's
+// planner under that recall SLO.
 //
 // Every parameter is validated before the request is admitted, so a
 // malformed request never occupies budget or queue space. Admitted
@@ -278,6 +299,22 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter prefilter: want on or off, got %q", prefilter))
 		return
 	}
+	mode := param(r, "mode", "exact")
+	if mode != "exact" && mode != "lsh" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter mode: want exact or lsh, got %q", mode))
+		return
+	}
+	if algName == "lsh" {
+		mode = "lsh"
+	}
+	recall, err := floatParam(r, "recall", 0)
+	if err == nil && recall != 0 && (recall <= 0 || recall > 1) {
+		err = fmt.Errorf("parameter recall: want a value in (0, 1], got %v", recall)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 
 	// Admission: charge the estimated footprint against the budget. In
 	// serialize mode every request is charged the whole budget, so at
@@ -312,16 +349,25 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if prefilter == "on" {
 		opts.Prefilter = &textjoin.Prefilter{Inner: s.sig1, Outer: s.sig2}
 	}
+	if mode == "lsh" || recall != 0 {
+		opts.LSH = s.lsh1
+		opts.RecallSLO = recall
+	}
 
 	resp := joinResponse{Workers: workers, Lambda: lambda}
 	var results []textjoin.Result
 	var stats *textjoin.JoinStats
 
 	execBegin := time.Now()
-	if algName == "auto" {
+	switch {
+	case mode == "lsh" && workers > 1:
+		results, stats, err = textjoin.JoinLSHParallel(in, opts, workers)
+	case mode == "lsh":
+		results, stats, err = textjoin.JoinLSH(in, opts)
+	case algName == "auto":
 		results, stats, _, err = textjoin.JoinIntegrated(in, opts)
 		resp.Integrated = true
-	} else {
+	default:
 		alg, _ := textjoin.ParseAlgorithm(algName)
 		switch {
 		case workers > 1 && alg == textjoin.HHNL:
@@ -362,6 +408,14 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			ClustersSkipped: stats.Prefilter.ClustersSkipped,
 			DocsSkipped:     stats.Prefilter.DocsSkipped,
 			FalsePasses:     stats.Prefilter.FalsePasses,
+		}
+	}
+	if stats.LSH.Enabled {
+		resp.LSH = &lshStats{
+			BucketProbes: stats.LSH.BucketProbes,
+			Candidates:   stats.LSH.Candidates,
+			PagesSkipped: stats.LSH.PagesSkipped,
+			DocsSkipped:  stats.LSH.DocsSkipped,
 		}
 	}
 	for i, res := range results {
@@ -405,6 +459,18 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 		return 0, fmt.Errorf("parameter %s: %v", name, err)
 	}
 	return n, nil
+}
+
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %v", name, err)
+	}
+	return f, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -99,10 +99,75 @@ func TestServerEndpoints(t *testing.T) {
 		"/join?lambda=x":     http.StatusBadRequest,
 		"/join?lambda=-1":    http.StatusBadRequest,
 		"/join?weighting=no": http.StatusBadRequest,
+		"/join?mode=bogus":   http.StatusBadRequest,
+		"/join?recall=1.5":   http.StatusBadRequest,
+		"/join?recall=-0.2":  http.StatusBadRequest,
+		"/join?recall=x":     http.StatusBadRequest,
 	} {
 		if status, _ := get(t, hs, path); status != want {
 			t.Errorf("GET %s: status %d, want %d", path, status, want)
 		}
+	}
+}
+
+// TestServerLSH drives the approximate join end to end: mode=lsh (and
+// its alg=lsh spelling) must reply with LSH stats, the parallel variant
+// must return the same top-λ pairs as the serial one, and recall=r must
+// reach the integrated planner without breaking the auto path.
+func TestServerLSH(t *testing.T) {
+	_, hs := testServer(t, 4096)
+
+	status, body := get(t, hs, "/join?mode=lsh&lambda=3&show=2")
+	if status != 200 {
+		t.Fatalf("mode=lsh status %d: %s", status, body)
+	}
+	var serial joinResponse
+	if err := json.Unmarshal(body, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Algorithm != "LSH" || serial.Integrated {
+		t.Errorf("mode=lsh ran %q (integrated=%v), want LSH", serial.Algorithm, serial.Integrated)
+	}
+	if serial.LSH == nil || serial.LSH.BucketProbes == 0 {
+		t.Errorf("mode=lsh reply lacks LSH stats: %+v", serial.LSH)
+	}
+
+	status, body = get(t, hs, "/join?alg=lsh&lambda=3&show=2&workers=2")
+	if status != 200 {
+		t.Fatalf("alg=lsh workers=2 status %d: %s", status, body)
+	}
+	var parallel joinResponse
+	if err := json.Unmarshal(body, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Algorithm != "LSH" {
+		t.Errorf("alg=lsh ran %q, want LSH", parallel.Algorithm)
+	}
+	if len(parallel.Results) != len(serial.Results) {
+		t.Fatalf("parallel returned %d result rows, serial %d", len(parallel.Results), len(serial.Results))
+	}
+	for i := range serial.Results {
+		a, b := serial.Results[i], parallel.Results[i]
+		if a.Outer != b.Outer || len(a.Matches) != len(b.Matches) {
+			t.Fatalf("row %d: serial %+v, parallel %+v", i, a, b)
+		}
+		for j := range a.Matches {
+			if a.Matches[j] != b.Matches[j] {
+				t.Errorf("row %d match %d: serial %+v, parallel %+v", i, j, a.Matches[j], b.Matches[j])
+			}
+		}
+	}
+
+	status, body = get(t, hs, "/join?alg=auto&recall=0.9&show=0")
+	if status != 200 {
+		t.Fatalf("auto recall=0.9 status %d: %s", status, body)
+	}
+	var auto joinResponse
+	if err := json.Unmarshal(body, &auto); err != nil {
+		t.Fatal(err)
+	}
+	if !auto.Integrated || auto.Algorithm == "" {
+		t.Errorf("auto recall response: %+v", auto)
 	}
 }
 

@@ -147,6 +147,30 @@ func runSmoke(cfg config, out io.Writer) error {
 			}
 			return nil
 		}},
+		{"join lsh", func() error {
+			body, err := get("/join?mode=lsh&show=0")
+			if err != nil {
+				return err
+			}
+			var j joinResponse
+			if err := json.Unmarshal(body, &j); err != nil {
+				return err
+			}
+			if j.Algorithm != "LSH" || j.LSH == nil {
+				return fmt.Errorf("mode=lsh reply is not an LSH join: %s", body)
+			}
+			if _, err := get("/join?alg=auto&recall=0.9&show=0"); err != nil {
+				return err
+			}
+			body, err = get("/metrics")
+			if err != nil {
+				return err
+			}
+			if !strings.Contains(string(body), "textjoin_join_lsh_") {
+				return fmt.Errorf("exposition lacks textjoin_join_lsh_ counters")
+			}
+			return nil
+		}},
 		{"metrics scrape", func() error {
 			body, err := get("/metrics")
 			if err != nil {

@@ -80,19 +80,21 @@ func DefaultPolicy() *Policy {
 			"internal/invfile":    {"internal/btree", "internal/codec", "internal/collection", "internal/iosim"},
 			"internal/entrycache": {"internal/invfile", "internal/telemetry"},
 			"internal/cluster":    {"internal/collection", "internal/document", "internal/iosim"},
+			"internal/lsh":        {"internal/collection", "internal/document", "internal/iosim"},
 			"internal/signature":  {"internal/collection", "internal/document", "internal/iosim"},
 			"internal/corpus":     {"internal/collection", "internal/costmodel", "internal/document", "internal/iosim"},
 
 			"internal/core": {
 				"internal/accum", "internal/codec", "internal/collection",
 				"internal/costmodel", "internal/document", "internal/entrycache",
-				"internal/invfile", "internal/iosim", "internal/signature",
-				"internal/stats", "internal/telemetry", "internal/topk",
+				"internal/invfile", "internal/iosim", "internal/lsh",
+				"internal/signature", "internal/stats", "internal/telemetry",
+				"internal/topk",
 			},
 			"internal/query": {
 				"internal/collection", "internal/core", "internal/costmodel",
-				"internal/document", "internal/invfile", "internal/relation",
-				"internal/telemetry",
+				"internal/document", "internal/invfile", "internal/lsh",
+				"internal/relation", "internal/telemetry",
 			},
 			"internal/simulate": {
 				"internal/collection", "internal/core", "internal/corpus",

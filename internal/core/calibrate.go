@@ -63,6 +63,8 @@ func modelAlg(a Algorithm) costmodel.Algorithm {
 		return costmodel.AlgHVNL
 	case VVM:
 		return costmodel.AlgVVM
+	case LSH:
+		return costmodel.AlgLSH
 	default:
 		return costmodel.AlgHHNL
 	}

@@ -33,6 +33,7 @@ import (
 	"textjoin/internal/entrycache"
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
+	"textjoin/internal/lsh"
 	"textjoin/internal/telemetry"
 	"textjoin/internal/topk"
 )
@@ -47,6 +48,10 @@ const (
 	HVNL
 	// VVM is the Vertical–Vertical Merge of Section 4.3.
 	VVM
+	// LSH is the approximate MinHash/banding join: candidates from
+	// shared buckets, verified with the exact scorer. The one algorithm
+	// that trades bounded recall for I/O.
+	LSH
 )
 
 // String names the algorithm as in the paper.
@@ -58,6 +63,8 @@ func (a Algorithm) String() string {
 		return "HVNL"
 	case VVM:
 		return "VVM"
+	case LSH:
+		return "LSH"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -72,6 +79,8 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return HVNL, nil
 	case "vvm", "VVM":
 		return VVM, nil
+	case "lsh", "LSH":
+		return LSH, nil
 	}
 	return HHNL, fmt.Errorf("core: unknown algorithm %q", s)
 }
@@ -130,6 +139,17 @@ type Options struct {
 	// pruning. Signatures only ever prove non-overlap, so prefiltered
 	// results are byte-identical to unfiltered ones.
 	Prefilter *Prefilter
+	// LSH supplies the inner collection's MinHash sidecar. Required by
+	// JoinLSH; offered to the integrated planner, which may pick the
+	// approximate join when RecallSLO permits.
+	LSH *lsh.Sidecar
+	// RecallSLO is the lowest acceptable recall when the integrated
+	// planner considers the approximate LSH join: 0 (the default) and 1
+	// both restrict the planner to the exact algorithms; a value in
+	// (0, 1) lets LSH win when its estimated recall meets the SLO and
+	// its estimated cost beats every exact plan. Direct JoinLSH calls
+	// ignore it.
+	RecallSLO float64
 }
 
 // withDefaults fills in the paper's base values.
@@ -147,7 +167,8 @@ func (o Options) withDefaults() Options {
 }
 
 func (o Options) validate() error {
-	if o.Lambda < 0 || o.MemoryPages < 0 || o.Delta < 0 || o.Delta > 1 {
+	if o.Lambda < 0 || o.MemoryPages < 0 || o.Delta < 0 || o.Delta > 1 ||
+		o.RecallSLO < 0 || o.RecallSLO > 1 {
 		return fmt.Errorf("core: invalid options %+v", o)
 	}
 	return nil
@@ -181,6 +202,26 @@ type Stats struct {
 	// Prefilter reports the signature pruning outcome when
 	// Options.Prefilter was set.
 	Prefilter PrefilterStats
+	// LSH reports the bucket-probe outcome of the approximate join.
+	LSH LSHStats
+}
+
+// LSHStats reports what the approximate join's candidate generation
+// did. Comparisons in the parent Stats counts the exact-scorer
+// verifications of the candidates.
+type LSHStats struct {
+	// Enabled records whether the run was an LSH join.
+	Enabled bool
+	// BucketProbes counts band-bucket lookups (outer docs × bands).
+	BucketProbes int64
+	// Candidates counts distinct (outer, inner) candidate pairs sent to
+	// verification.
+	Candidates int64
+	// PagesSkipped counts inner collection pages the verify scan never
+	// read because no resident outer document had a candidate there.
+	PagesSkipped int64
+	// DocsSkipped counts inner documents never decoded.
+	DocsSkipped int64
 }
 
 // Inputs bundles the representations available to the join. Every
@@ -274,6 +315,12 @@ func recordJoinStats(tel *telemetry.Collector, st *Stats) {
 		tel.Counter(p + ".prefilter.docs_skipped").Add(st.Prefilter.DocsSkipped)
 		tel.Counter(p + ".prefilter.false_passes").Add(st.Prefilter.FalsePasses)
 	}
+	if st.LSH.Enabled {
+		tel.Counter(p + ".bucket_probes").Add(st.LSH.BucketProbes)
+		tel.Counter(p + ".candidates").Add(st.LSH.Candidates)
+		tel.Counter(p + ".pages_skipped").Add(st.LSH.PagesSkipped)
+		tel.Counter(p + ".docs_skipped").Add(st.LSH.DocsSkipped)
+	}
 }
 
 // alpha returns the cost ratio of the disk backing the first non-nil file.
@@ -295,6 +342,8 @@ func Join(alg Algorithm, in Inputs, opts Options) ([]Result, *Stats, error) {
 		return JoinHVNL(in, opts)
 	case VVM:
 		return JoinVVM(in, opts)
+	case LSH:
+		return JoinLSH(in, opts)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown algorithm %v", alg)
 	}

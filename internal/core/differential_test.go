@@ -3,12 +3,16 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
+	"textjoin/internal/collection"
 	"textjoin/internal/document"
 	"textjoin/internal/iosim"
+	"textjoin/internal/lsh"
 	"textjoin/internal/telemetry"
 )
 
@@ -326,6 +330,200 @@ func TestTelemetryConcurrentSnapshots(t *testing.T) {
 	snap := tel.Snapshot()
 	if len(snap.Counters) == 0 {
 		t.Error("no counters collected")
+	}
+}
+
+// lshDiffConfig is the banding shape the LSH axis runs under: 32
+// single-row bands keep the candidate S-curve 1−(1−s)^32 high even for
+// the low-Jaccard pairs the small adversarial corpora produce, so the
+// recall floors below are meaningful rather than vacuously tiny.
+var lshDiffConfig = lsh.Config{Bands: 32, Rows: 1, Seed: 7}
+
+// lshRecallFloors maps shape name → the measured-recall floor under
+// lshDiffConfig. Everything is seeded and deterministic, so measured
+// recall is an exact repeatable number per shape; the floors sit under
+// the observed values with margin for intentional algorithm changes.
+func lshRecallFloors() map[string]float64 {
+	return map[string]float64{
+		"uniform":          0.85,
+		"skewed-df":        0.85,
+		"empty-docs":       0.85,
+		"lambda-gt-n1":     0.80,
+		"one-page":         0.80,
+		"disjoint-vocab":   1.00, // no exact pairs: recall is trivially 1
+		"identical-docs":   1.00, // Jaccard 1 pairs always collide
+		"single-term-docs": 1.00, // sharing the single term ⇒ same MinHash
+		"multi-pass":       0.85,
+	}
+}
+
+// buildDiffLSH builds the inner collection's MinHash sidecar on the
+// shape's disk and re-zeroes the I/O stats, so runs being compared start
+// from identical head positions whether or not they built a sidecar.
+func buildDiffLSH(tb testing.TB, e *env, cfg lsh.Config) *lsh.Sidecar {
+	tb.Helper()
+	f, err := e.disk.Create("c1.lsh")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sc, err := lsh.Build(e.c1, f, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e.disk.ResetStats()
+	return sc
+}
+
+// collectDocs reads a whole collection into an id-indexed map.
+func collectDocs(tb testing.TB, c *collection.Collection) map[uint32]*document.Document {
+	tb.Helper()
+	out := make(map[uint32]*document.Document)
+	sc := c.Scan()
+	for {
+		d, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[d.ID] = d
+	}
+	return out
+}
+
+// exactSameResults is sameResults with byte-for-byte similarity
+// equality — the LSH axis demands the verified scores be bit-identical
+// to the exact scorer, not merely within tolerance.
+func exactSameResults(a, b []Result) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("result count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Outer != b[i].Outer {
+			return fmt.Errorf("row %d outer %d vs %d", i, a[i].Outer, b[i].Outer)
+		}
+		if len(a[i].Matches) != len(b[i].Matches) {
+			return fmt.Errorf("outer %d match count %d vs %d", a[i].Outer, len(a[i].Matches), len(b[i].Matches))
+		}
+		for j := range a[i].Matches {
+			ma, mb := a[i].Matches[j], b[i].Matches[j]
+			if ma.Doc != mb.Doc || math.Float64bits(ma.Sim) != math.Float64bits(mb.Sim) {
+				return fmt.Errorf("outer %d match %d: %+v vs %+v", a[i].Outer, j, ma, mb)
+			}
+		}
+	}
+	return nil
+}
+
+// TestDifferentialLSH is the approximate join's axis of the harness: on
+// every shape, the LSH join must (1) return one row per outer document
+// in outer order, (2) achieve measured recall ≥ the configured floor
+// against the exact ground truth, (3) show perfect precision — every
+// returned similarity byte-for-byte equal to the exact scorer on the
+// underlying documents, and (4) produce results and Stats identical to
+// the serial run from the parallel variant at workers 1, 2 and 7.
+func TestDifferentialLSH(t *testing.T) {
+	floors := lshRecallFloors()
+	for _, shape := range diffShapes() {
+		shape := shape
+		t.Run(shape.name, func(t *testing.T) {
+			baseEnv := buildDiffEnv(t, shape, 1)
+			exact := reference(t, baseEnv.c2, baseEnv.c1, shape.lambda, rawScorer(t))
+
+			e := buildDiffEnv(t, shape, 1)
+			sc := buildDiffLSH(t, e, lshDiffConfig)
+			opts := shape.options()
+			opts.LSH = sc
+			got, st, err := JoinLSH(e.inputs(), opts)
+			if err != nil {
+				t.Fatalf("JoinLSH: %v", err)
+			}
+			if st.Algorithm != LSH || !st.LSH.Enabled {
+				t.Fatalf("stats not marked as LSH: %+v", st)
+			}
+
+			// (1) Row shape: same outer documents, same order, non-nil
+			// match lists (empty rows must still appear).
+			if len(got) != len(exact) {
+				t.Fatalf("LSH returned %d rows, exact %d", len(got), len(exact))
+			}
+			for i := range got {
+				if got[i].Outer != exact[i].Outer {
+					t.Fatalf("row %d outer %d, exact has %d", i, got[i].Outer, exact[i].Outer)
+				}
+				if got[i].Matches == nil {
+					t.Fatalf("outer %d: nil match list", got[i].Outer)
+				}
+			}
+
+			// (3) Perfect precision: re-score every returned pair.
+			innerDocs := collectDocs(t, e.c1)
+			outerDocs := collectDocs(t, e.c2)
+			scorer := rawScorer(t)
+			for _, res := range got {
+				for _, m := range res.Matches {
+					if m.Sim <= 0 {
+						t.Fatalf("outer %d returned non-positive similarity %v for doc %d", res.Outer, m.Sim, m.Doc)
+					}
+					want := scorer.Score(outerDocs[res.Outer], innerDocs[m.Doc])
+					if math.Float64bits(m.Sim) != math.Float64bits(want) {
+						t.Fatalf("outer %d doc %d: returned sim %v (bits %x), exact scorer %v (bits %x)",
+							res.Outer, m.Doc, m.Sim, math.Float64bits(m.Sim), want, math.Float64bits(want))
+					}
+				}
+			}
+
+			// (2) Measured recall over the exact top-λ pair set.
+			type pair struct{ o, i uint32 }
+			exactPairs := make(map[pair]bool)
+			for _, res := range exact {
+				for _, m := range res.Matches {
+					exactPairs[pair{res.Outer, m.Doc}] = true
+				}
+			}
+			hits := 0
+			for _, res := range got {
+				for _, m := range res.Matches {
+					if exactPairs[pair{res.Outer, m.Doc}] {
+						hits++
+					}
+				}
+			}
+			recall := 1.0
+			if len(exactPairs) > 0 {
+				recall = float64(hits) / float64(len(exactPairs))
+			}
+			floor, ok := floors[shape.name]
+			if !ok {
+				t.Fatalf("no recall floor configured for shape %q", shape.name)
+			}
+			if recall < floor {
+				t.Errorf("measured recall %.4f below floor %.2f (%d of %d exact pairs)",
+					recall, floor, hits, len(exactPairs))
+			}
+			t.Logf("recall %.4f (floor %.2f), %d candidates, %d pages skipped",
+				recall, floor, st.LSH.Candidates, st.LSH.PagesSkipped)
+
+			// (4) Serial ≡ parallel: results and Stats byte-identical at
+			// every worker count, each from a fresh disk.
+			for _, w := range []int{1, 2, 7} {
+				ep := buildDiffEnv(t, shape, 1)
+				scp := buildDiffLSH(t, ep, lshDiffConfig)
+				po := shape.options()
+				po.LSH = scp
+				pres, pst, err := JoinLSHParallel(ep.inputs(), po, w)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if err := exactSameResults(got, pres); err != nil {
+					t.Errorf("workers=%d results differ from serial: %v", w, err)
+				}
+				if *st != *pst {
+					t.Errorf("workers=%d stats differ:\nserial   %+v\nparallel %+v", w, *st, *pst)
+				}
+			}
+		})
 	}
 }
 

@@ -62,6 +62,11 @@ type Decision struct {
 	// Prefiltered marks that the winning plan uses the signature
 	// prefilter (only possible when Options.Prefilter was supplied).
 	Prefiltered bool
+	// EstimatedRecall is the recall the chosen plan promises: exactly 1
+	// for the exact algorithms, the banding S-curve estimate when the
+	// approximate LSH join won (which requires Options.LSH and a
+	// RecallSLO strictly between 0 and 1 that the estimate meets).
+	EstimatedRecall float64
 }
 
 // Choose runs only the selection step of the integrated algorithm: it
@@ -123,6 +128,24 @@ func Choose(in Inputs, opts Options) (Decision, error) {
 			}
 		}
 	}
+	// With a MinHash sidecar on offer and a recall SLO strictly below 1,
+	// the approximate join competes: it must promise at least the SLO's
+	// recall AND strictly beat every exact plan's cost. SLO 0 (unset) and
+	// SLO 1 both keep the planner exact — the SLO is an explicit opt-in
+	// to approximation, and no banding shape promises recall 1.
+	dec.EstimatedRecall = 1
+	if opts.LSH != nil && opts.RecallSLO > 0 && opts.RecallSLO < 1 {
+		if _, err := activeLSH(in, opts); err != nil {
+			return Decision{}, err
+		}
+		lest := costmodel.EstimateLSH(mi, sys, q, measureLSH(opts.LSH))
+		dec.Estimates = append(dec.Estimates, lest)
+		if lest.Recall >= opts.RecallSLO && lest.Seq < bestCost {
+			best = costmodel.AlgLSH
+			dec.Prefiltered = false
+			dec.EstimatedRecall = lest.Recall
+		}
+	}
 	switch best {
 	case costmodel.AlgHHNL:
 		dec.Chosen = HHNL
@@ -130,6 +153,8 @@ func Choose(in Inputs, opts Options) (Decision, error) {
 		dec.Chosen = HVNL
 	case costmodel.AlgVVM:
 		dec.Chosen = VVM
+	case costmodel.AlgLSH:
+		dec.Chosen = LSH
 	}
 	return dec, nil
 }
@@ -162,6 +187,12 @@ func recordPlan(tel *telemetry.Collector, dec Decision) {
 	tel.Counter("plan.chosen." + strings.ToLower(dec.Chosen.String())).Add(1)
 	if dec.Prefiltered {
 		tel.Counter("plan.prefilter.on").Add(1)
+	}
+	if dec.Chosen == LSH {
+		// Milli-recall as an event value (events carry int64); the name
+		// has no "estimate."/"measured." prefix, so calibration replay
+		// ignores it.
+		tel.Event(telemetry.PhasePlan, "plan.lsh.recall_milli", int64(dec.EstimatedRecall*1000+0.5))
 	}
 }
 

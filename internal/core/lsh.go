@@ -1,0 +1,439 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"textjoin/internal/costmodel"
+	"textjoin/internal/document"
+	"textjoin/internal/lsh"
+	"textjoin/internal/telemetry"
+	"textjoin/internal/topk"
+)
+
+// JoinLSH evaluates the join approximately with MinHash/banding
+// buckets: resident outer batches are filled exactly as in HHNL (same
+// memory policy, same batch boundaries), but instead of scanning the
+// whole inner collection per batch, each resident outer document's band
+// keys probe the inner sidecar's buckets, and only the inner documents
+// that share at least one bucket with some resident outer document are
+// read — via the same filtered scan the signature prefilter uses, so
+// pages with no candidates are never read.
+//
+// Every candidate pair is verified with the exact scorer before it may
+// enter a λ-tracker, so precision is perfect: any returned (outer,
+// inner, sim) triple is byte-identical to what the exact joins compute
+// for that pair. What LSH trades away is recall — a truly similar pair
+// whose band keys never collide is missed. The expected recall for a
+// pair of Jaccard similarity s is 1 − (1 − s^r)^b (lsh.EstimateRecall),
+// which the cost model exposes to the integrated planner.
+//
+// Options.LSH must hold the sidecar built over Inputs.Inner's current
+// layout. Options.Prefilter is ignored: bucket candidate generation
+// subsumes the signature skip.
+func JoinLSH(in Inputs, opts Options) ([]Result, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if in.Outer == nil || in.Inner == nil {
+		return nil, nil, fmt.Errorf("%w: LSH needs both document collections", ErrMissingInput)
+	}
+	sc, err := activeLSH(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	scorer, err := in.scorer(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{Algorithm: LSH, InnerDocs: in.Inner.NumDocs()}
+	stats.LSH.Enabled = true
+	budget, slotBytes, err := hhnlBatchBytes(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	track := trackIO(in.Outer.File(), in.Inner.File())
+	tel := opts.Telemetry
+	gen := newLSHCandidates(sc, in)
+
+	var results []Result
+	outer := in.Outer.Documents()
+	var pending *document.Document
+	done := false
+	for !done {
+		fill := tel.StartSpan(telemetry.PhaseScan, "lsh.fill-batch")
+		var batch []*document.Document
+		var used int64
+		for {
+			var d *document.Document
+			if pending != nil {
+				d, pending = pending, nil
+			} else {
+				var err error
+				d, err = outer.Next()
+				if err == io.EOF {
+					done = true
+					break
+				}
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			cost := d.EncodedSize() + slotBytes
+			if used+cost > budget && len(batch) > 0 {
+				pending = d
+				break
+			}
+			if used+cost > budget {
+				return nil, nil, fmt.Errorf("%w: outer document %d (%d bytes) exceeds the batch budget %d",
+					ErrInsufficientMemory, d.ID, cost, budget)
+			}
+			batch = append(batch, d)
+			used += cost
+		}
+		fill.End()
+		if len(batch) == 0 {
+			break
+		}
+		stats.Passes++
+		stats.OuterDocs += int64(len(batch))
+		if used > stats.PeakMemoryBytes {
+			stats.PeakMemoryBytes = used
+		}
+
+		trackers := make([]*topk.TopK, len(batch))
+		for i := range trackers {
+			trackers[i] = topk.New(opts.Lambda)
+		}
+		// Probe the buckets with every resident outer document's band
+		// keys, building the per-inner-document candidate lists and the
+		// keep vector for the filtered verify scan.
+		cand := tel.StartSpan(telemetry.PhaseScan, "lsh.candidates")
+		err := gen.generate(batch, stats)
+		cand.End()
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// Verify: read only candidate inner documents, score each
+		// against exactly the resident outer documents it collided
+		// with. One document consumed at a time, so the reuse arena
+		// applies.
+		score := tel.StartSpan(telemetry.PhaseScore, "lsh.verify-scan")
+		next := in.Inner.ScanFiltered(gen.keepFunc()).NextReuse
+		for {
+			d1, err := next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, i := range gen.lists[d1.ID] {
+				sim := scorer.Score(batch[i], d1)
+				stats.Comparisons++
+				trackers[i].Offer(d1.ID, sim)
+			}
+		}
+		score.End()
+		flush := tel.StartSpan(telemetry.PhaseFlush, "lsh.flush-batch")
+		for i, d2 := range batch {
+			results = append(results, Result{Outer: d2.ID, Matches: trackers[i].Results()})
+		}
+		flush.End()
+	}
+	stats.IO = track.delta()
+	stats.Cost = stats.IO.Cost(alpha(in.Inner.File()))
+	recordJoinStats(tel, stats)
+	return results, stats, nil
+}
+
+// JoinLSHParallel is JoinLSH with the candidate verification fanned out
+// over workers, following the HHNL-parallel discipline: batch fill,
+// bucket probing and the filtered inner scan all stay on the
+// coordinator (same I/O, same candidates, same skip counters as
+// serial); chunks of scanned candidate documents go to a worker pool,
+// each worker scoring them against its candidates' resident outer
+// documents into its own trackers, merged per batch. Results and Stats
+// are byte-identical to the serial join.
+func JoinLSHParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if in.Outer == nil || in.Inner == nil {
+		return nil, nil, fmt.Errorf("%w: LSH needs both document collections", ErrMissingInput)
+	}
+	sc, err := activeLSH(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	scorer, err := in.scorer(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	nWorkers := resolveWorkers(workers)
+	stats := &Stats{Algorithm: LSH, InnerDocs: in.Inner.NumDocs()}
+	stats.LSH.Enabled = true
+	budget, slotBytes, err := hhnlBatchBytes(in, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	track := trackIO(in.Outer.File(), in.Inner.File())
+	tel := opts.Telemetry
+	gen := newLSHCandidates(sc, in)
+
+	const chunkSize = 64
+	chunkPool := sync.Pool{New: func() any {
+		s := make([]*document.Document, 0, chunkSize)
+		return &s
+	}}
+
+	var results []Result
+	outer := in.Outer.Documents()
+	var pending *document.Document
+	done := false
+	for !done {
+		fill := tel.StartSpan(telemetry.PhaseScan, "lshp.fill-batch")
+		var batch []*document.Document
+		var used int64
+		for {
+			var d *document.Document
+			if pending != nil {
+				d, pending = pending, nil
+			} else {
+				var err error
+				d, err = outer.Next()
+				if err == io.EOF {
+					done = true
+					break
+				}
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			cost := d.EncodedSize() + slotBytes
+			if used+cost > budget && len(batch) > 0 {
+				pending = d
+				break
+			}
+			if used+cost > budget {
+				return nil, nil, fmt.Errorf("%w: outer document %d (%d bytes) exceeds the batch budget %d",
+					ErrInsufficientMemory, d.ID, cost, budget)
+			}
+			batch = append(batch, d)
+			used += cost
+		}
+		fill.End()
+		if len(batch) == 0 {
+			break
+		}
+		stats.Passes++
+		stats.OuterDocs += int64(len(batch))
+		if used > stats.PeakMemoryBytes {
+			stats.PeakMemoryBytes = used
+		}
+
+		// Candidate generation on the coordinator, before any worker
+		// starts: the lists and keep vector are read-only afterwards.
+		cand := tel.StartSpan(telemetry.PhaseScan, "lshp.candidates")
+		err := gen.generate(batch, stats)
+		cand.End()
+		if err != nil {
+			return nil, nil, err
+		}
+
+		workerTrackers := make([][]*topk.TopK, nWorkers)
+		for w := range workerTrackers {
+			ts := make([]*topk.TopK, len(batch))
+			for i := range ts {
+				ts[i] = topk.New(opts.Lambda)
+			}
+			workerTrackers[w] = ts
+		}
+		compCounts := make([]int64, nWorkers)
+
+		chunks := make(chan *[]*document.Document, nWorkers)
+		var wg sync.WaitGroup
+		for w := 0; w < nWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ts := workerTrackers[w]
+				var count int64
+				for chunk := range chunks {
+					for _, d1 := range *chunk {
+						for _, i := range gen.lists[d1.ID] {
+							sim := scorer.Score(batch[i], d1)
+							count++
+							ts[i].Offer(d1.ID, sim)
+						}
+					}
+					*chunk = (*chunk)[:0]
+					chunkPool.Put(chunk)
+				}
+				compCounts[w] = count
+			}(w)
+		}
+
+		// Single-threaded filtered scan; cloned documents because they
+		// outlive the scan step inside worker chunks.
+		score := tel.StartSpan(telemetry.PhaseScore, "lshp.verify-scan")
+		next := in.Inner.ScanFiltered(gen.keepFunc()).Next
+		var scanErr error
+		chunk := chunkPool.Get().(*[]*document.Document)
+		for {
+			d1, err := next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				scanErr = err
+				break
+			}
+			*chunk = append(*chunk, d1)
+			if len(*chunk) == chunkSize {
+				chunks <- chunk
+				chunk = chunkPool.Get().(*[]*document.Document)
+			}
+		}
+		if len(*chunk) > 0 && scanErr == nil {
+			chunks <- chunk
+		}
+		close(chunks)
+		wg.Wait()
+		score.End()
+		if scanErr != nil {
+			return nil, nil, scanErr
+		}
+
+		merge := tel.StartSpan(telemetry.PhaseMerge, "lshp.merge-trackers")
+		for i, d2 := range batch {
+			merged := topk.New(opts.Lambda)
+			for w := 0; w < nWorkers; w++ {
+				for _, m := range workerTrackers[w][i].Results() {
+					merged.Offer(m.Doc, m.Sim)
+				}
+			}
+			results = append(results, Result{Outer: d2.ID, Matches: merged.Results()})
+		}
+		merge.End()
+		for w, c := range compCounts {
+			stats.Comparisons += c
+			if tel != nil {
+				tel.Counter(fmt.Sprintf("join.lsh.worker.%d.comparisons", w)).Add(c)
+			}
+		}
+	}
+	stats.IO = track.delta()
+	stats.Cost = stats.IO.Cost(alpha(in.Inner.File()))
+	recordJoinStats(tel, stats)
+	return results, stats, nil
+}
+
+// activeLSH validates Options.LSH against the inputs. A sidecar that
+// does not match its collection is an error: band keys computed over a
+// different layout would bucket the wrong documents.
+func activeLSH(in Inputs, opts Options) (*lsh.Sidecar, error) {
+	sc := opts.LSH
+	if sc == nil {
+		return nil, fmt.Errorf("%w: LSH needs the inner MinHash sidecar", ErrMissingInput)
+	}
+	if in.Inner != nil && int64(sc.NumDocs()) != in.Inner.NumDocs() {
+		return nil, fmt.Errorf("core: LSH sidecar covers %d docs, collection has %d — rebuild the sidecar",
+			sc.NumDocs(), in.Inner.NumDocs())
+	}
+	return sc, nil
+}
+
+// lshCandidates owns the per-batch candidate state, reused across
+// batches: for each inner document, the batch indices of the resident
+// outer documents it must be verified against, plus the keep vector the
+// filtered scan consumes.
+type lshCandidates struct {
+	sc    *lsh.Sidecar
+	in    Inputs
+	lists [][]int32 // inner id → batch indices, ascending
+	keep  []bool
+	stamp []int // inner id → last outer probe that added it
+	probe int
+	keys  []uint64
+}
+
+func newLSHCandidates(sc *lsh.Sidecar, in Inputs) *lshCandidates {
+	n := int(in.Inner.NumDocs())
+	g := &lshCandidates{
+		sc:    sc,
+		in:    in,
+		lists: make([][]int32, n),
+		keep:  make([]bool, n),
+		stamp: make([]int, n),
+	}
+	for i := range g.stamp {
+		g.stamp[i] = -1
+	}
+	return g
+}
+
+// generate probes the buckets with every batch document's band keys.
+// Each (outer, inner) pair appends exactly once (bands are deduplicated
+// with a stamp per outer probe), in ascending batch order within each
+// inner list, so the verify order — and with it every tracker's Offer
+// order — is deterministic. Skip counters accrue into st.
+func (g *lshCandidates) generate(batch []*document.Document, st *Stats) error {
+	cfg := g.sc.Config()
+	for id := range g.lists {
+		g.lists[id] = g.lists[id][:0]
+		g.keep[id] = false
+	}
+	for i, d2 := range batch {
+		g.keys = cfg.Keys(d2, g.keys)
+		g.probe++
+		for b, key := range g.keys {
+			st.LSH.BucketProbes++
+			for _, id := range g.sc.Bucket(b, key) {
+				if g.stamp[id] != g.probe {
+					g.stamp[id] = g.probe
+					g.lists[id] = append(g.lists[id], int32(i))
+					g.keep[id] = true
+					st.LSH.Candidates++
+				}
+			}
+		}
+	}
+	kept := 0
+	for _, k := range g.keep {
+		if k {
+			kept++
+		}
+	}
+	st.LSH.DocsSkipped += int64(len(g.keep) - kept)
+	touched, err := touchedPages(g.in.Inner, g.keep)
+	if err != nil {
+		return err
+	}
+	st.LSH.PagesSkipped += g.in.Inner.File().Pages() - touched
+	return nil
+}
+
+func (g *lshCandidates) keepFunc() func(id uint32) bool {
+	keep := g.keep
+	return func(id uint32) bool { return keep[id] }
+}
+
+// measureLSH probes the sidecar's resident bucket tables for the
+// planner: candidate volume and scan-run counts feed the cost formula,
+// the banding shape feeds the recall curve. CPU-only and deterministic.
+func measureLSH(sc *lsh.Sidecar) costmodel.LSH {
+	candFrac, runs := sc.SelfProbe()
+	cfg := sc.Config()
+	return costmodel.LSH{
+		SidecarPages:  float64(sc.Pages()),
+		CandidateFrac: candFrac,
+		ScanRuns:      runs,
+		Bands:         cfg.Bands,
+		Rows:          cfg.Rows,
+	}
+}

@@ -515,11 +515,13 @@ func VVMRand(in Input, sys System, q Query) float64 {
 // Algorithm mirrors core's algorithm identifiers without importing it.
 type Algorithm int
 
-// The three algorithms, in the paper's order.
+// The three algorithms, in the paper's order, plus the approximate
+// MinHash/banding join (an extension beyond the paper).
 const (
 	AlgHHNL Algorithm = iota
 	AlgHVNL
 	AlgVVM
+	AlgLSH
 )
 
 // String names the algorithm.
@@ -531,6 +533,8 @@ func (a Algorithm) String() string {
 		return "HVNL"
 	case AlgVVM:
 		return "VVM"
+	case AlgLSH:
+		return "LSH"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -546,6 +550,11 @@ type Estimate struct {
 	// Prefiltered marks a signature-prefiltered plan variant (see
 	// EstimateAllPrefilter).
 	Prefiltered bool
+	// Recall is the estimated recall of an approximate plan. Only
+	// meaningful when Algorithm is AlgLSH (see EstimateLSH); the exact
+	// algorithms leave it zero — their recall is 1 by construction and
+	// the planner treats it so.
+	Recall float64
 }
 
 // EstimateAll evaluates all six formulas.

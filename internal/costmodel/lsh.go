@@ -1,0 +1,89 @@
+package costmodel
+
+import "math"
+
+// DefaultMatchSim is the Jaccard similarity the recall estimate assumes
+// for a "true" match when the caller does not supply one. Top-λ answers
+// are dominated by strongly overlapping pairs; 0.5 is a deliberately
+// conservative midpoint — the banding S-curve is monotone in s, so
+// pairs more similar than this are found with higher probability than
+// the estimate promises.
+const DefaultMatchSim = 0.5
+
+// LSH carries the measured candidate volume of a MinHash sidecar and
+// its banding shape, feeding the approximate plan estimate. Candidate
+// fraction and run counts are measured against the resident bucket
+// tables at plan time (CPU-only, like the signature prefilter's
+// measurements).
+type LSH struct {
+	// SidecarPages is the one-time sequential cost of loading the
+	// sidecar file.
+	SidecarPages float64
+	// CandidateFrac is the mean fraction of C1 documents that share at
+	// least one bucket with a probe document.
+	CandidateFrac float64
+	// ScanRuns is the mean number of contiguous candidate-id runs per
+	// probe: each run the filtered verify scan resumes costs one random
+	// read.
+	ScanRuns float64
+	// Bands and Rows are the banding shape (b and r).
+	Bands, Rows int
+	// MatchSim is the Jaccard similarity assumed for a true match when
+	// estimating recall; 0 selects DefaultMatchSim.
+	MatchSim float64
+}
+
+// Recall is the banding S-curve 1 − (1 − s^rows)^bands: the probability
+// that a pair with Jaccard similarity s shares at least one band key
+// and therefore survives as a candidate.
+func Recall(bands, rows int, s float64) float64 {
+	if s <= 0 || bands <= 0 || rows <= 0 {
+		return 0
+	}
+	if s >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-math.Pow(s, float64(rows)), float64(bands))
+}
+
+// LSHSeq prices the approximate join: C2 is read exactly as HHNL reads
+// it (same batches, same X), but each batch's inner sweep touches only
+// the candidate fraction of C1's pages, plus the one-time sidecar load.
+func LSHSeq(in Input, sys System, q Query, p LSH) float64 {
+	in = in.normalize()
+	x := HHNLBatch(in, sys, q)
+	if x <= 0 {
+		return Infeasible
+	}
+	scans := math.Ceil(float64(in.C2.N) / x)
+	if in.C2.N == 0 {
+		scans = 0
+	}
+	inner := filteredScanCost(in.C1.D(sys), 1-p.CandidateFrac, p.ScanRuns, sys)
+	return in.c2ReadCost(sys) + scans*inner + p.SidecarPages
+}
+
+// LSHRand is the worst-case approximate cost: the same contention
+// surcharge as HHNLRand on top of the approximate sequential cost.
+func LSHRand(in Input, sys System, q Query, p LSH) float64 {
+	seq := LSHSeq(in, sys, q, p)
+	if math.IsInf(seq, 1) {
+		return Infeasible
+	}
+	return seq + (HHNLRand(in, sys, q) - HHNLSeq(in, sys, q))
+}
+
+// EstimateLSH evaluates the approximate plan: cost from the measured
+// candidate volume, recall from the banding S-curve at MatchSim.
+func EstimateLSH(in Input, sys System, q Query, p LSH) Estimate {
+	s := p.MatchSim
+	if s == 0 {
+		s = DefaultMatchSim
+	}
+	return Estimate{
+		Algorithm: AlgLSH,
+		Seq:       LSHSeq(in, sys, q, p),
+		Rand:      LSHRand(in, sys, q, p),
+		Recall:    Recall(p.Bands, p.Rows, s),
+	}
+}

@@ -1,0 +1,121 @@
+package lsh
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"textjoin/internal/document"
+)
+
+// FuzzBandKeys drives the MinHash/banding kernel with random token
+// multisets and pins its three core invariants:
+//
+//  1. seed determinism — the same (seed, shape, terms) always folds to
+//     the same band keys, and a different seed is allowed to differ;
+//  2. permutation invariance — the keys depend on the term *set*, not on
+//     the order the cells arrive in or their occurrence counts;
+//  3. path equivalence — the per-document row-major path (Keys) and the
+//     term-major batch path Build uses (batchKeys) produce identical
+//     output bit for bit.
+func FuzzBandKeys(f *testing.F) {
+	f.Add(uint64(1), uint8(16), uint8(2), []byte{0, 0, 0, 1, 0, 0, 0, 5})
+	f.Add(uint64(0), uint8(0), uint8(0), []byte{})
+	f.Add(uint64(42), uint8(1), uint8(1), []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	f.Add(uint64(7), uint8(3), uint8(5), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, seed uint64, bands, rows uint8, data []byte) {
+		cfg := Config{
+			Bands: int(bands % 32),
+			Rows:  int(rows % 8),
+			Seed:  seed,
+		}.withDefaults()
+
+		// Decode the corpus bytes into a term multiset: every 4-byte
+		// window is one token, so duplicates and arbitrary counts arise
+		// naturally from the fuzzed input.
+		var cells []document.Cell
+		seen := make(map[uint32]int)
+		for i := 0; i+4 <= len(data); i += 4 {
+			term := binary.LittleEndian.Uint32(data[i:])
+			if n, dup := seen[term]; dup {
+				// A repeated token only bumps the weight of its cell —
+				// the kernel must ignore weights entirely.
+				cells[n].Weight++
+				continue
+			}
+			seen[term] = len(cells)
+			cells = append(cells, document.Cell{Term: term, Weight: 1})
+		}
+		d := &document.Document{ID: 0, Cells: cells}
+
+		keys := cfg.Keys(d, nil)
+		if len(cells) == 0 {
+			if len(keys) != 0 {
+				t.Fatalf("empty multiset produced %d keys", len(keys))
+			}
+			return
+		}
+		if len(keys) != cfg.Bands {
+			t.Fatalf("got %d keys, want %d bands", len(keys), cfg.Bands)
+		}
+
+		// 1. Determinism: recompute from scratch.
+		again := cfg.Keys(d, nil)
+		for j := range keys {
+			if keys[j] != again[j] {
+				t.Fatalf("band %d differs across invocations", j)
+			}
+		}
+
+		// 2a. Permutation invariance: reverse the cell order.
+		rev := make([]document.Cell, len(cells))
+		for i, c := range cells {
+			rev[len(cells)-1-i] = c
+		}
+		permKeys := cfg.Keys(&document.Document{ID: 0, Cells: rev}, nil)
+		for j := range keys {
+			if keys[j] != permKeys[j] {
+				t.Fatalf("band %d sensitive to cell order", j)
+			}
+		}
+		// 2b. Rotate by a data-derived offset for a second permutation.
+		if n := len(cells); n > 1 {
+			rot := make([]document.Cell, 0, n)
+			off := int(data[0]) % n
+			rot = append(rot, cells[off:]...)
+			rot = append(rot, cells[:off]...)
+			rotKeys := cfg.Keys(&document.Document{ID: 0, Cells: rot}, nil)
+			for j := range keys {
+				if keys[j] != rotKeys[j] {
+					t.Fatalf("band %d sensitive to cell rotation", j)
+				}
+			}
+		}
+		// 2c. Weight independence: doubling every count changes nothing.
+		heavy := make([]document.Cell, len(cells))
+		for i, c := range cells {
+			heavy[i] = document.Cell{Term: c.Term, Weight: c.Weight * 2}
+		}
+		heavyKeys := cfg.Keys(&document.Document{ID: 0, Cells: heavy}, nil)
+		for j := range keys {
+			if keys[j] != heavyKeys[j] {
+				t.Fatalf("band %d sensitive to occurrence counts", j)
+			}
+		}
+
+		// 3. Batch-path equivalence, including into a dirty buffer.
+		minima := make([]uint64, cfg.Bands*cfg.Rows)
+		dst := make([]uint64, cfg.Bands)
+		for i := range dst {
+			dst[i] = 0xDEADBEEF
+		}
+		batch := cfg.batchKeys(d, minima, dst)
+		if len(batch) != len(keys) {
+			t.Fatalf("batch path yielded %d keys, want %d", len(batch), len(keys))
+		}
+		for j := range keys {
+			if keys[j] != batch[j] {
+				t.Fatalf("band %d: per-doc %x, batch %x", j, keys[j], batch[j])
+			}
+		}
+	})
+}

@@ -74,13 +74,18 @@ type ComparePred struct {
 	Lit Literal
 }
 
-// SimilarPred is `left SIMILAR_TO(λ) right`: find, for each document of
-// the right (outer) attribute, the λ most similar documents of the left
-// (inner) attribute — the paper's asymmetric semantics.
+// SimilarPred is `left SIMILAR_TO(λ [, RECALL r]) right`: find, for
+// each document of the right (outer) attribute, the λ most similar
+// documents of the left (inner) attribute — the paper's asymmetric
+// semantics. The optional RECALL knob sets a recall SLO in (0, 1],
+// letting the planner substitute the approximate LSH join when its
+// estimated recall meets the SLO and its estimated cost beats every
+// exact plan; Recall 0 (absent) and 1 both demand exact results.
 type SimilarPred struct {
 	Left   ColRef
 	Lambda int
 	Right  ColRef
+	Recall float64
 }
 
 func (LikePred) predicate()    {}

@@ -11,6 +11,7 @@ import (
 	"textjoin/internal/costmodel"
 	"textjoin/internal/document"
 	"textjoin/internal/invfile"
+	"textjoin/internal/lsh"
 	"textjoin/internal/relation"
 	"textjoin/internal/telemetry"
 )
@@ -21,6 +22,10 @@ import (
 type TextBinding struct {
 	Collection *collection.Collection
 	Inverted   *invfile.InvertedFile
+	// LSH is the collection's MinHash sidecar, or nil. When bound on the
+	// inner side and the query carries a RECALL SLO, the planner may run
+	// the approximate LSH join instead of an exact algorithm.
+	LSH *lsh.Sidecar
 }
 
 // Catalog maps relation names to relations and textual attributes to
@@ -311,12 +316,19 @@ func (e *Engine) Execute(q *Query, opts Options) (*ResultSet, error) {
 		innerIDMap = idMap
 	}
 
-	// Choose and run.
+	// Choose and run. The RECALL SLO only reaches the planner when the
+	// bound sidecar still describes the join's actual inner side: a
+	// selection-materialized inner is a different collection, whose band
+	// keys the sidecar does not cover.
 	jopts := core.Options{
 		Lambda:      sp.Lambda,
 		MemoryPages: opts.MemoryPages,
 		Weighting:   opts.Weighting,
 		Telemetry:   opts.Telemetry,
+	}
+	if innerBind.LSH != nil && in.Inner == innerBind.Collection {
+		jopts.LSH = innerBind.LSH
+		jopts.RecallSLO = sp.Recall
 	}
 	rs := &ResultSet{}
 	if opts.ExplainOnly {
@@ -340,6 +352,10 @@ func (e *Engine) Execute(q *Query, opts Options) (*ResultSet, error) {
 		for _, e := range dec.Estimates {
 			rs.Plan = append(rs.Plan,
 				fmt.Sprintf("estimate %v: seq=%.0f rand=%.0f", e.Algorithm, e.Seq, e.Rand))
+		}
+		if sp.Recall > 0 {
+			rs.Plan = append(rs.Plan,
+				fmt.Sprintf("recall SLO %.3g: estimated recall %.3g", sp.Recall, dec.EstimatedRecall))
 		}
 		rs.Plan = append(rs.Plan, fmt.Sprintf("chosen: %v", dec.Chosen))
 		opts.Telemetry.Counter("query.explains").Add(1)

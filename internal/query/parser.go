@@ -193,6 +193,20 @@ func (p *parser) parsePredicate() (Predicate, error) {
 		if err != nil || lambda <= 0 {
 			return nil, fmt.Errorf("query: invalid λ %q", t.text)
 		}
+		var recall float64
+		if p.peek().kind == tokPunct && p.peek().text == "," {
+			p.advance()
+			if err := p.expectKeyword("recall"); err != nil {
+				return nil, err
+			}
+			recall, err = p.parseDecimal()
+			if err != nil {
+				return nil, err
+			}
+			if recall <= 0 || recall > 1 {
+				return nil, fmt.Errorf("query: RECALL must be in (0, 1], got %v", recall)
+			}
+		}
 		if err := p.expectPunct(")"); err != nil {
 			return nil, err
 		}
@@ -200,7 +214,7 @@ func (p *parser) parsePredicate() (Predicate, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &SimilarPred{Left: col, Lambda: lambda, Right: right}, nil
+		return &SimilarPred{Left: col, Lambda: lambda, Right: right, Recall: recall}, nil
 	case p.peek().kind == tokOp:
 		op := p.advance().text
 		lit, err := p.parseLiteral()
@@ -211,6 +225,32 @@ func (p *parser) parsePredicate() (Predicate, error) {
 	default:
 		return nil, fmt.Errorf("query: expected predicate operator after %s, found %s", col, p.peek())
 	}
+}
+
+// parseDecimal parses a decimal number from the integer-only lexer's
+// tokens: a number, optionally followed by "." and a fraction number,
+// recomposed textually so 0.95 parses exactly.
+func (p *parser) parseDecimal() (float64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("query: expected a number, found %s", t)
+	}
+	p.advance()
+	text := t.text
+	if p.peek().kind == tokPunct && p.peek().text == "." {
+		p.advance()
+		frac := p.peek()
+		if frac.kind != tokNumber {
+			return 0, fmt.Errorf("query: expected digits after %q., found %s", text, frac)
+		}
+		p.advance()
+		text = text + "." + frac.text
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query: bad number %q: %v", text, err)
+	}
+	return v, nil
 }
 
 func (p *parser) parseString() (string, error) {

@@ -49,6 +49,7 @@ import (
 	"textjoin/internal/entrycache"
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
+	"textjoin/internal/lsh"
 	"textjoin/internal/metrics"
 	"textjoin/internal/query"
 	"textjoin/internal/relation"
@@ -78,11 +79,12 @@ type (
 	Decision = core.Decision
 )
 
-// The three algorithms.
+// The three exact algorithms, plus the approximate MinHash join.
 const (
 	HHNL = core.HHNL
 	HVNL = core.HVNL
 	VVM  = core.VVM
+	LSH  = core.LSH
 )
 
 // Storage and document model.
@@ -229,7 +231,7 @@ func EncodeMetrics(w io.Writer, s *TelemetrySnapshot) error { return metrics.Enc
 // with larger sequence numbers.
 func TraceStreamHandler(t *Telemetry) http.Handler { return metrics.TraceHandler(t) }
 
-// ParseAlgorithm maps "hhnl", "hvnl" or "vvm" to an Algorithm.
+// ParseAlgorithm maps "hhnl", "hvnl", "vvm" or "lsh" to an Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
 
 // ParseWeighting maps "raw", "cosine" or "tfidf" to a Weighting.
@@ -581,6 +583,62 @@ type (
 	// passes for one join (JoinStats.Prefilter).
 	PrefilterStats = core.PrefilterStats
 )
+
+// Approximate (LSH) joining.
+type (
+	// LSHConfig shapes the MinHash/banding signatures (bands, rows per
+	// band, seed).
+	LSHConfig = lsh.Config
+	// LSHSidecar is a collection's MinHash band-key file with its
+	// in-memory bucket tables, memory-resident once opened. Supply it to
+	// JoinLSH (or the integrated planner) via Options.LSH.
+	LSHSidecar = lsh.Sidecar
+	// LSHStats reports an approximate join's bucket-probe outcome
+	// (JoinStats.LSH).
+	LSHStats = core.LSHStats
+)
+
+// BuildLSH builds and stores c's MinHash sidecar ("<name>.lsh" on the
+// workspace disk), returning the memory-resident handle with its bucket
+// tables.
+func (w *Workspace) BuildLSH(c *Collection, cfg LSHConfig) (*LSHSidecar, error) {
+	f, err := w.disk.Create(c.Name() + ".lsh")
+	if err != nil {
+		return nil, err
+	}
+	return lsh.Build(c, f, cfg)
+}
+
+// OpenLSH re-attaches to the sidecar built for c by BuildLSH (one
+// sequential load of the sidecar file, bucket tables rebuilt in memory).
+func (w *Workspace) OpenLSH(c *Collection) (*LSHSidecar, error) {
+	f, err := w.disk.Open(c.Name() + ".lsh")
+	if err != nil {
+		return nil, err
+	}
+	return lsh.Open(f)
+}
+
+// EstimateLSHRecall returns the banding S-curve 1 − (1 − s^rows)^bands:
+// the probability that a pair of Jaccard similarity s becomes a
+// candidate under the given shape.
+func EstimateLSHRecall(bands, rows int, s float64) float64 {
+	return lsh.EstimateRecall(bands, rows, s)
+}
+
+// JoinLSH runs the approximate MinHash/banding join: candidate pairs
+// from shared buckets (Options.LSH must carry the inner sidecar),
+// verified with the exact scorer — perfect precision, bounded recall.
+func JoinLSH(in Inputs, opts Options) ([]Result, *JoinStats, error) {
+	return core.JoinLSH(in, opts)
+}
+
+// JoinLSHParallel runs JoinLSH with candidate verification fanned out
+// over workers; candidate generation and I/O stay single-threaded, so
+// results and Stats are byte-identical to the serial join.
+func JoinLSHParallel(in Inputs, opts Options, workers int) ([]Result, *JoinStats, error) {
+	return core.JoinLSHParallel(in, opts, workers)
+}
 
 // BuildSignatures builds and stores c's signature sidecar ("<name>.sig"
 // on the workspace disk), returning the memory-resident handle.
