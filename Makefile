@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json bench-prefilter bench-lsh bench-load loadgen-smoke lint lint-report
+.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json bench-prefilter bench-lsh bench-load loadgen-smoke slo-smoke lint lint-report
 
 build:
 	$(GO) build ./...
@@ -15,19 +15,21 @@ test: build
 # then race-check the packages with goroutines (owner-sharded parallel
 # VVM and HVNL, parallel HHNL), the accumulator layer they share, the
 # entry cache the parallel HVNL coordinator drives, the telemetry
-# collector they all report to, and the observability server that
-# scrapes it during in-flight joins. The core run includes the
-# differential harness (telemetry on/off invariance, concurrent
-# snapshots). It finishes with the two observability smokes: the
-# self-driving textjoind endpoint check and the baseline-checked
-# benchmark grid.
-verify: obs-smoke loadgen-smoke bench-json bench-prefilter bench-lsh
+# collector they all report to, the request tracer and flight recorder
+# that follow each request, the SLO engine computing error budgets over
+# them, and the observability server that scrapes it during in-flight
+# joins. The core run includes the differential harness (telemetry
+# on/off invariance, concurrent snapshots). It finishes with the
+# observability smokes: the self-driving textjoind endpoint check, the
+# load-generator gate, the SLO/error-budget gate, and the
+# baseline-checked benchmark grids.
+verify: obs-smoke loadgen-smoke slo-smoke bench-json bench-prefilter bench-lsh
 	$(GO) vet ./...
 	$(GO) run ./cmd/lintcheck
-	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/... ./internal/telemetry/... ./internal/metrics/... ./cmd/textjoind/...
+	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/... ./internal/telemetry/... ./internal/metrics/... ./internal/reqtrace/... ./internal/slo/... ./cmd/textjoind/...
 
 # lint runs the repo's own static-analysis suite over the whole module:
-# five analyzers driven by the checked-in policy table in
+# six analyzers driven by the checked-in policy table in
 # internal/analysis/policy.go (see DESIGN.md §11). Exit 1 on findings.
 lint:
 	$(GO) run ./cmd/lintcheck
@@ -83,6 +85,21 @@ loadgen-smoke:
 	@/tmp/textjoind.loadgen -addr 127.0.0.1:$(LOADGEN_PORT) -scale 4096 & \
 	pid=$$!; \
 	/tmp/loadgen.loadgen -addr http://127.0.0.1:$(LOADGEN_PORT) -wait 30s -rate 40 -duration 2s -check; \
+	rc=$$?; kill $$pid 2>/dev/null; exit $$rc
+
+# slo-smoke is the CI gate for the SLO layer: boot a real textjoind,
+# drive a fixed-rate run, then scrape /metrics (-slo) so the run fails
+# unless the textjoin_slo_* families pass the strict exposition parser
+# AND both error budgets (availability, latency) end the run with
+# budget remaining. -check also enforces the client-vs-server clock
+# gates: no reply may claim more server time than the client measured.
+SLO_PORT ?= 18574
+slo-smoke:
+	$(GO) build -o /tmp/textjoind.slo ./cmd/textjoind
+	$(GO) build -o /tmp/loadgen.slo ./cmd/loadgen
+	@/tmp/textjoind.slo -addr 127.0.0.1:$(SLO_PORT) -scale 4096 & \
+	pid=$$!; \
+	/tmp/loadgen.slo -addr http://127.0.0.1:$(SLO_PORT) -wait 30s -rate 40 -duration 3s -slo -check; \
 	rc=$$?; kill $$pid 2>/dev/null; exit $$rc
 
 # bench-load reproduces the checked-in BENCH_PR7.json: the identical

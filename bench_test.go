@@ -29,6 +29,7 @@ import (
 	"textjoin/internal/entrycache"
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
+	"textjoin/internal/reqtrace"
 	"textjoin/internal/simulate"
 	"textjoin/internal/telemetry"
 )
@@ -208,6 +209,22 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				tel.Event(telemetry.PhaseIO, "e", 1)
 			}); allocs != 0 {
 				b.Fatalf("disabled telemetry path allocates %v/op, want 0", allocs)
+			}
+			// The request-tracing layer holds to the same contract: with
+			// no tracer attached (nil span in Options.Trace, nil recorder
+			// behind it), the hot loop must not allocate.
+			var rtr *reqtrace.Tracer
+			var rspan *reqtrace.Span
+			var rec *reqtrace.Recorder
+			if allocs := testing.AllocsPerRun(100, func() {
+				rtr.StartTrace("join").End()
+				rspan.StartChild("exec", "join").End()
+				rspan.SetAttr("k", "v")
+				rspan.SetInt("n", 1)
+				rspan.SetFloat("f", 0.5)
+				rec.Record(rspan)
+			}); allocs != 0 {
+				b.Fatalf("disabled reqtrace path allocates %v/op, want 0", allocs)
 			}
 			env.d.SetCollector(nil)
 			b.ReportAllocs()

@@ -1,12 +1,12 @@
 // Command lintcheck runs the repo's static-analysis suite
 // (internal/analysis) over the whole module and exits non-zero on any
-// finding. It is the `make lint` gate: the five analyzers encode the
+// finding. It is the `make lint` gate: the six analyzers encode the
 // project's architectural promises — the DESIGN.md package DAG
 // (importlayer), deterministic result production (mapdeterminism),
 // byte-stable baselines (wallclock), the nil-safe telemetry contract
-// (nilrecv) and scrape-lock-free locking (mutexhygiene) — plus the
-// lintdirective hygiene rule that keeps every //lint:ignore explained
-// and load-bearing.
+// (nilrecv), scrape-lock-free locking (mutexhygiene) and leak-free
+// request tracing (spanhygiene) — plus the lintdirective hygiene rule
+// that keeps every //lint:ignore explained and load-bearing.
 //
 // Usage:
 //

@@ -26,9 +26,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"textjoin/internal/metrics"
 )
 
 // target is one server under load.
@@ -97,6 +100,30 @@ type runStat struct {
 	P99Ms            float64 `json:"p99_ms"`
 	P999Ms           float64 `json:"p999_ms"`
 	MaxMs            float64 `json:"max_ms"`
+	// The server-reported residence breakdown, decoded from each 200
+	// reply's queue_seconds/exec_seconds fields. GapP50Ms is the median
+	// client-vs-server latency gap — what the network, HTTP layer and
+	// response encoding cost on top of the server's own accounting.
+	QueueP50Ms  float64 `json:"queue_p50_ms"`
+	ExecP50Ms   float64 `json:"exec_p50_ms"`
+	ServerP50Ms float64 `json:"server_p50_ms"`
+	GapP50Ms    float64 `json:"gap_p50_ms"`
+	// ServerOverruns counts replies whose self-reported time exceeded
+	// the client-measured latency — impossible if both clocks are sane,
+	// so any non-zero value fails -check.
+	ServerOverruns int64 `json:"server_overruns"`
+	// SLO is the target's textjoin_slo_* state scraped after the run
+	// (present only with -slo).
+	SLO []sloStat `json:"slo,omitempty"`
+}
+
+// sloStat is one objective's error-budget state scraped from /metrics.
+type sloStat struct {
+	Objective       string  `json:"objective"`
+	Target          float64 `json:"target"`
+	Compliance      float64 `json:"compliance"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	BurnRate        float64 `json:"burn_rate"`
 }
 
 func main() {
@@ -111,6 +138,7 @@ func main() {
 	wait := flag.Duration("wait", 0, "poll each target's /healthz this long before loading (0 = no wait)")
 	jsonPath := flag.String("json", "", "write the machine-readable report here")
 	check := flag.Bool("check", false, "exit non-zero unless every request succeeded and percentiles are sane (CI smoke)")
+	sloScrape := flag.Bool("slo", false, "after each run, scrape the target's /metrics for textjoin_slo_* error budgets; with -check, a blown budget fails")
 	flag.Parse()
 
 	if len(targets) == 0 {
@@ -134,7 +162,16 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		rep.Runs = append(rep.Runs, runLoad(tgt, *rate, *duration, *lambda, profiles))
+		st := runLoad(tgt, *rate, *duration, *lambda, profiles)
+		if *sloScrape {
+			slo, err := scrapeSLO(tgt.URL)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %s: slo: %v\n", tgt.Label, err)
+				os.Exit(1)
+			}
+			st.SLO = slo
+		}
+		rep.Runs = append(rep.Runs, st)
 	}
 
 	printTable(os.Stdout, rep.Runs)
@@ -198,7 +235,7 @@ func runLoad(tgt target, rate float64, duration time.Duration, lambda int, profi
 
 	st := runStat{Label: tgt.Label}
 	var mu sync.Mutex
-	var latencies []float64
+	var latencies, queueMs, execMs, serverMs, gapMs []float64
 	var wg sync.WaitGroup
 	begin := time.Now()
 	next := 0
@@ -217,6 +254,14 @@ arrivals:
 				url := fmt.Sprintf("%s/join?%s&lambda=%d&show=0", tgt.URL, profile, lambda)
 				reqBegin := time.Now()
 				resp, err := client.Get(url)
+				var body []byte
+				if resp != nil {
+					body, _ = io.ReadAll(resp.Body)
+					resp.Body.Close()
+				}
+				// The client clock stops only after the body is fully
+				// read, so it strictly covers the server's own
+				// wall_seconds accounting.
 				elapsed := time.Since(reqBegin)
 				status := 0
 				if resp != nil {
@@ -227,17 +272,31 @@ arrivals:
 				switch classify(err, status) {
 				case outcomeOK:
 					st.OK++
-					latencies = append(latencies, elapsed.Seconds()*1e3)
+					clientMs := elapsed.Seconds() * 1e3
+					latencies = append(latencies, clientMs)
+					// The server's residence breakdown rides in every
+					// 200 reply; the gap between the two clocks is the
+					// client-side overhead the server cannot see.
+					var j struct {
+						QueueSeconds float64 `json:"queue_seconds"`
+						ExecSeconds  float64 `json:"exec_seconds"`
+					}
+					if json.Unmarshal(body, &j) == nil {
+						sMs := (j.QueueSeconds + j.ExecSeconds) * 1e3
+						queueMs = append(queueMs, j.QueueSeconds*1e3)
+						execMs = append(execMs, j.ExecSeconds*1e3)
+						serverMs = append(serverMs, sMs)
+						gapMs = append(gapMs, clientMs-sMs)
+						if sMs > clientMs {
+							st.ServerOverruns++
+						}
+					}
 				case outcomeRejected:
 					st.Rejected++
 				case outcomeUnprocessable:
 					st.Unprocessable++
 				default:
 					st.Errors++
-				}
-				if resp != nil {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
 				}
 			}(profile)
 		}
@@ -246,6 +305,10 @@ arrivals:
 	elapsed := time.Since(begin).Seconds()
 
 	sort.Float64s(latencies)
+	sort.Float64s(queueMs)
+	sort.Float64s(execMs)
+	sort.Float64s(serverMs)
+	sort.Float64s(gapMs)
 	st.ThroughputPerSec = round3(float64(st.OK) / elapsed)
 	st.P50Ms = round3(percentile(latencies, 0.50))
 	st.P90Ms = round3(percentile(latencies, 0.90))
@@ -254,7 +317,77 @@ arrivals:
 	if n := len(latencies); n > 0 {
 		st.MaxMs = round3(latencies[n-1])
 	}
+	st.QueueP50Ms = round3(percentile(queueMs, 0.50))
+	st.ExecP50Ms = round3(percentile(execMs, 0.50))
+	st.ServerP50Ms = round3(percentile(serverMs, 0.50))
+	st.GapP50Ms = round3(percentile(gapMs, 0.50))
 	return st
+}
+
+// scrapeSLO pulls one target's /metrics, insists the exposition is
+// Lint-clean and carries the textjoin_slo_* families, and decodes every
+// objective's error-budget state.
+func scrapeSLO(base string) ([]sloStat, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	if err := metrics.Lint(body); err != nil {
+		return nil, fmt.Errorf("/metrics exposition rejected: %v", err)
+	}
+	byName := map[string]*sloStat{}
+	order := []string{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "textjoin_slo_") {
+			continue
+		}
+		family, rest, ok := strings.Cut(line, `{objective="`)
+		if !ok {
+			continue
+		}
+		name, rest, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample %q: %v", line, err)
+		}
+		s := byName[name]
+		if s == nil {
+			s = &sloStat{Objective: name}
+			byName[name] = s
+			order = append(order, name)
+		}
+		switch family {
+		case "textjoin_slo_target":
+			s.Target = v
+		case "textjoin_slo_compliance":
+			s.Compliance = v
+		case "textjoin_slo_error_budget_remaining":
+			s.BudgetRemaining = v
+		case "textjoin_slo_burn_rate":
+			s.BurnRate = v
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("exposition carries no textjoin_slo_* families")
+	}
+	sort.Strings(order)
+	out := make([]sloStat, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out, nil
 }
 
 // outcome is a completed request's classification.
@@ -313,12 +446,19 @@ func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }
 
 // printTable renders the human-readable summary.
 func printTable(w io.Writer, runs []runStat) {
-	fmt.Fprintf(w, "%-12s %8s %8s %8s %8s %8s %10s %9s %9s %9s %9s %9s\n",
-		"target", "requests", "ok", "rejected", "unproc", "errors", "thrpt/s", "p50ms", "p90ms", "p99ms", "p999ms", "maxms")
+	fmt.Fprintf(w, "%-12s %8s %8s %8s %8s %8s %10s %9s %9s %9s %9s %9s %9s %9s\n",
+		"target", "requests", "ok", "rejected", "unproc", "errors", "thrpt/s", "p50ms", "p90ms", "p99ms", "p999ms", "maxms", "srv50ms", "gap50ms")
 	for _, r := range runs {
-		fmt.Fprintf(w, "%-12s %8d %8d %8d %8d %8d %10.1f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+		fmt.Fprintf(w, "%-12s %8d %8d %8d %8d %8d %10.1f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
 			r.Label, r.Requests, r.OK, r.Rejected, r.Unprocessable, r.Errors,
-			r.ThroughputPerSec, r.P50Ms, r.P90Ms, r.P99Ms, r.P999Ms, r.MaxMs)
+			r.ThroughputPerSec, r.P50Ms, r.P90Ms, r.P99Ms, r.P999Ms, r.MaxMs,
+			r.ServerP50Ms, r.GapP50Ms)
+	}
+	for _, r := range runs {
+		for _, s := range r.SLO {
+			fmt.Fprintf(w, "%-12s slo %-14s target=%.3f compliance=%.4f budget=%.3f burn=%.3f\n",
+				r.Label, s.Objective, s.Target, s.Compliance, s.BudgetRemaining, s.BurnRate)
+		}
 	}
 }
 
@@ -340,6 +480,16 @@ func sanity(runs []runStat) error {
 			return fmt.Errorf("%s: %d of %d requests unaccounted for", r.Label, r.Requests-r.OK, r.Requests)
 		case r.P50Ms <= 0 || r.P99Ms < r.P50Ms || r.MaxMs < r.P99Ms:
 			return fmt.Errorf("%s: implausible percentiles p50=%v p99=%v max=%v", r.Label, r.P50Ms, r.P99Ms, r.MaxMs)
+		case r.ServerOverruns > 0:
+			return fmt.Errorf("%s: %d replies reported more server time than the client measured", r.Label, r.ServerOverruns)
+		case r.ServerP50Ms > r.P50Ms:
+			return fmt.Errorf("%s: server p50 %vms exceeds client p50 %vms", r.Label, r.ServerP50Ms, r.P50Ms)
+		}
+		for _, s := range r.SLO {
+			if s.BudgetRemaining < 0 {
+				return fmt.Errorf("%s: SLO %q violated: budget remaining %v (burn rate %v)",
+					r.Label, s.Objective, s.BudgetRemaining, s.BurnRate)
+			}
 		}
 	}
 	return nil

@@ -33,6 +33,7 @@ func joinPaths() []string {
 // except the wall-clock timings.
 func deterministic(j joinResponse) joinResponse {
 	j.WallSeconds, j.QueueSeconds, j.ExecSeconds = 0, 0, 0
+	j.TraceID = ""
 	return j
 }
 

@@ -12,7 +12,16 @@
 //	               with per-second rate gauges between scrapes
 //	/traces        the trace ring as JSON Lines; ?since=<seq> tails
 //	/healthz       liveness plus workspace summary, JSON
+//	/debug/requests
+//	               the flight recorder: the slowest and most recent
+//	               request traces (HTML, or JSON with ?format=json);
+//	               /debug/requests/{traceID} is one request's span tree
 //	/debug/pprof/  the standard Go profiling handlers
+//
+// Every /join answers (and accepts) a W3C-style Traceparent header and
+// reports its trace_id in the response body; textjoin_slo_* gauge
+// families on /metrics track the availability and latency objectives'
+// error budgets.
 //
 // Usage:
 //
@@ -45,6 +54,12 @@ func main() {
 	flag.DurationVar(&cfg.QueueWait, "queue-wait", cfg.QueueWait, "longest a request may wait for admission before 503")
 	flag.BoolVar(&cfg.Serialize, "serialize", cfg.Serialize, "run joins one at a time (benchmark baseline)")
 	flag.DurationVar(&cfg.IODelay, "io-delay", cfg.IODelay, "real wall-clock latency per simulated page read (benchmark device model)")
+	flag.Uint64Var(&cfg.TraceSeed, "trace-seed", cfg.TraceSeed, "seed of the request tracer's deterministic ID stream")
+	flag.IntVar(&cfg.RecorderCap, "recorder-cap", cfg.RecorderCap, "flight recorder capacity: keeps this many slowest and this many most recent request traces")
+	flag.DurationVar(&cfg.SLOWindow, "slo-window", cfg.SLOWindow, "rolling window for SLO evaluation")
+	flag.Float64Var(&cfg.SLOAvailTarget, "slo-avail", cfg.SLOAvailTarget, "availability SLO target in (0, 1)")
+	flag.Float64Var(&cfg.SLOLatencyTarget, "slo-latency-target", cfg.SLOLatencyTarget, "latency SLO target in (0, 1)")
+	flag.DurationVar(&cfg.SLOLatency, "slo-latency", cfg.SLOLatency, "latency SLO threshold: a /join under this duration is good")
 	flag.Parse()
 	cfg.BudgetBytes = *budgetMB << 20
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -13,6 +14,7 @@ import (
 
 	"textjoin"
 	"textjoin/internal/corpus"
+	"textjoin/internal/reqtrace"
 	"textjoin/internal/telemetry"
 )
 
@@ -38,6 +40,18 @@ type config struct {
 	// IODelay charges every simulated page read that much real time
 	// (default 0), modeling device latency for serving benchmarks.
 	IODelay time.Duration
+	// TraceSeed seeds the request tracer's deterministic ID stream;
+	// RecorderCap bounds the flight recorder (N slowest + N most
+	// recent finished request traces behind /debug/requests).
+	TraceSeed   uint64
+	RecorderCap int
+	// The SLO layer: availability (join outcomes) and latency
+	// (http.request.join.ns against SLOLatency) objectives evaluated
+	// over a rolling SLOWindow and exported as textjoin_slo_* gauges.
+	SLOWindow        time.Duration
+	SLOAvailTarget   float64
+	SLOLatencyTarget float64
+	SLOLatency       time.Duration
 }
 
 func defaultConfig() config {
@@ -53,6 +67,13 @@ func defaultConfig() config {
 		BudgetBytes: 256 << 20,
 		QueueLen:    64,
 		QueueWait:   2 * time.Second,
+
+		TraceSeed:        1,
+		RecorderCap:      reqtrace.DefaultRecorderCap,
+		SLOWindow:        textjoin.DefaultSLOWindow,
+		SLOAvailTarget:   0.99,
+		SLOLatencyTarget: 0.95,
+		SLOLatency:       2 * time.Second,
 	}
 }
 
@@ -73,6 +94,9 @@ type server struct {
 	lsh1       *textjoin.LSHSidecar
 	tel        *textjoin.Telemetry
 	exporter   *textjoin.MetricsExporter
+	tracer     *textjoin.RequestTracer
+	recorder   *textjoin.FlightRecorder
+	slo        *textjoin.SLOEngine
 	adm        *admitter
 	start      time.Time
 
@@ -135,6 +159,27 @@ func newServer(cfg config) (*server, error) {
 	tel := textjoin.NewTelemetry(telemetry.WithTraceCap(cfg.TraceCap))
 	ws.ResetIOStats()
 	ws.SetTelemetry(tel)
+
+	// The SLO layer reads the same collector the joins write: the
+	// availability objective classifies join outcomes, the latency
+	// objective classifies the per-request /join latency histogram.
+	sloEng, err := textjoin.NewSLOEngine(tel, cfg.SLOWindow, []textjoin.SLOObjective{
+		{
+			Name:   "availability",
+			Target: cfg.SLOAvailTarget,
+			Good:   []string{"http.join.ok"},
+			Bad:    []string{"http.join.err", "http.rejected"},
+		},
+		{
+			Name:           "latency",
+			Target:         cfg.SLOLatencyTarget,
+			Histogram:      "http.request.join.ns",
+			ThresholdNanos: cfg.SLOLatency.Nanoseconds(),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &server{
 		cfg:      cfg,
 		ws:       ws,
@@ -146,7 +191,10 @@ func newServer(cfg config) (*server, error) {
 		sig2:     sig2,
 		lsh1:     lsh1,
 		tel:      tel,
-		exporter: textjoin.NewMetricsExporter(tel),
+		exporter: textjoin.NewMetricsExporter(tel, textjoin.WithSLOGauges(sloEng)),
+		tracer:   textjoin.NewRequestTracer(cfg.TraceSeed),
+		recorder: textjoin.NewFlightRecorder(cfg.RecorderCap),
+		slo:      sloEng,
 		adm:      newAdmitter(cfg.BudgetBytes, cfg.QueueLen, cfg.QueueWait, tel),
 		start:    time.Now(),
 	}, nil
@@ -169,10 +217,37 @@ func (s *server) timed(endpoint string, h http.Handler) http.Handler {
 	})
 }
 
+// traced wraps a handler with a request-scoped trace: it opens a root
+// span for every request (linking to the caller's trace when a
+// Traceparent header is present), exposes it to the handler through the
+// request context, echoes the trace identity in the response
+// Traceparent header, and hands the finished tree to the flight
+// recorder when the handler returns — on every path, including panics
+// unwinding through the deferred Record.
+func (s *server) traced(name string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var span *textjoin.RequestSpan
+		if remote, parent, err := reqtrace.ParseTraceparent(r.Header.Get(reqtrace.TraceparentHeader)); err == nil {
+			span = s.tracer.StartLinkedTrace(name, remote, parent)
+		} else {
+			span = s.tracer.StartTrace(name)
+		}
+		if span != nil {
+			w.Header().Set(reqtrace.TraceparentHeader,
+				reqtrace.FormatTraceparent(span.TraceID(), span.SpanID()))
+		}
+		defer s.recorder.Record(span)
+		h.ServeHTTP(w, r.WithContext(reqtrace.NewContext(r.Context(), span)))
+	})
+}
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/join", s.timed("join", http.HandlerFunc(s.handleJoin)))
+	mux.Handle("/join", s.timed("join", s.traced("join", http.HandlerFunc(s.handleJoin))))
 	mux.Handle("/metrics", s.timed("metrics", s.exporter))
+	debugRequests := s.timed("debug_requests", textjoin.FlightRecorderHandler(s.recorder, "/debug/requests"))
+	mux.Handle("/debug/requests", debugRequests)
+	mux.Handle("/debug/requests/", debugRequests)
 	mux.Handle("/traces", s.timed("traces", textjoin.TraceStreamHandler(s.tel)))
 	mux.Handle("/healthz", s.timed("healthz", http.HandlerFunc(s.handleHealth)))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -201,6 +276,7 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // admission queue and ExecSeconds the share actually executing the join,
 // so saturation (queue growth) is distinguishable from slow joins.
 type joinResponse struct {
+	TraceID      string          `json:"trace_id,omitempty"`
 	Algorithm    string          `json:"algorithm"`
 	Integrated   bool            `json:"integrated"`
 	Workers      int             `json:"workers"`
@@ -264,10 +340,11 @@ type joinMatch struct {
 // 500.
 func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
+	span := reqtrace.FromContext(r.Context())
 	algName := param(r, "alg", "auto")
 	if algName != "auto" {
 		if _, err := textjoin.ParseAlgorithm(algName); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.joinError(w, span, http.StatusBadRequest, err)
 			return
 		}
 	}
@@ -276,32 +353,32 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		err = fmt.Errorf("lambda must be positive")
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.joinError(w, span, http.StatusBadRequest, err)
 		return
 	}
 	workers, err := intParam(r, "workers", 1)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.joinError(w, span, http.StatusBadRequest, err)
 		return
 	}
 	show, err := intParam(r, "show", 3)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.joinError(w, span, http.StatusBadRequest, err)
 		return
 	}
 	weighting, err := textjoin.ParseWeighting(param(r, "weighting", "raw"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.joinError(w, span, http.StatusBadRequest, err)
 		return
 	}
 	prefilter := param(r, "prefilter", "off")
 	if prefilter != "on" && prefilter != "off" {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter prefilter: want on or off, got %q", prefilter))
+		s.joinError(w, span, http.StatusBadRequest, fmt.Errorf("parameter prefilter: want on or off, got %q", prefilter))
 		return
 	}
 	mode := param(r, "mode", "exact")
 	if mode != "exact" && mode != "lsh" {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter mode: want exact or lsh, got %q", mode))
+		s.joinError(w, span, http.StatusBadRequest, fmt.Errorf("parameter mode: want exact or lsh, got %q", mode))
 		return
 	}
 	if algName == "lsh" {
@@ -312,8 +389,19 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		err = fmt.Errorf("parameter recall: want a value in (0, 1], got %v", recall)
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.joinError(w, span, http.StatusBadRequest, err)
 		return
+	}
+
+	// The accepted request parameters, stamped on the root span so a
+	// trace is self-describing.
+	span.SetAttr("join.alg", algName)
+	span.SetAttr("join.mode", mode)
+	span.SetInt("join.lambda", int64(lambda))
+	span.SetInt("join.workers", int64(workers))
+	span.SetAttr("join.prefilter", prefilter)
+	if recall != 0 {
+		span.SetFloat("join.recall_slo", recall)
 	}
 
 	// Admission: charge the estimated footprint against the budget. In
@@ -323,12 +411,18 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Serialize {
 		cost = s.cfg.BudgetBytes
 	}
+	qspan := span.StartChild("queue", "admission")
+	qspan.SetInt("queue.cost_bytes", cost)
 	queued, err := s.adm.admit(cost)
+	qspan.SetInt("queue.wait_ns", queued.Nanoseconds())
 	if err != nil {
+		qspan.SetAttr("queue.rejected", "true")
+		qspan.End()
 		w.Header().Set("Retry-After", retryAfter(s.cfg.QueueWait))
-		httpError(w, http.StatusServiceUnavailable, err)
+		s.joinError(w, span, http.StatusServiceUnavailable, err)
 		return
 	}
+	qspan.End()
 	defer s.adm.release(cost)
 
 	// Snapshot: bind the inputs to a private I/O view so this join's
@@ -337,14 +431,16 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	defer v.Close()
 	in := textjoin.Inputs{Outer: s.c2, Inner: s.c1, InnerInv: s.inv1, OuterInv: s.inv2}
 	if in, err = in.WithView(v); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.joinError(w, span, http.StatusInternalServerError, err)
 		return
 	}
+	exec := span.StartChild("exec", "join "+algName)
 	opts := textjoin.Options{
 		Lambda:      lambda,
 		MemoryPages: s.cfg.MemoryPages,
 		Weighting:   weighting,
 		Telemetry:   s.tel,
+		Trace:       exec,
 	}
 	if prefilter == "on" {
 		opts.Prefilter = &textjoin.Prefilter{Inner: s.sig1, Outer: s.sig2}
@@ -380,17 +476,25 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			results, stats, err = textjoin.Join(alg, in, opts)
 		}
 	}
+	exec.End()
+	recordViewIO(span, v)
 	execSeconds := time.Since(execBegin).Seconds()
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, textjoin.ErrInsufficientMemory) || errors.Is(err, textjoin.ErrMissingInput) {
 			status = http.StatusUnprocessableEntity
 		}
-		httpError(w, status, err)
+		s.joinError(w, span, status, err)
 		return
 	}
 	s.joins.Add(1)
 	s.tel.Counter("query.joins").Add(1)
+	s.tel.Counter("http.join.ok").Add(1)
+	span.SetInt("http.status", http.StatusOK)
+	span.SetAttr("join.chosen", stats.Algorithm.String())
+	span.SetInt("result.rows", int64(len(results)))
+	span.SetAttr("result.hash", resultHash(results))
+	resp.TraceID = traceIDString(span)
 
 	resp.Algorithm = stats.Algorithm.String()
 	resp.OuterDocs = stats.OuterDocs
@@ -429,6 +533,83 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		resp.Results = append(resp.Results, jr)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// traceIDString is the request's trace ID, or "" when tracing is off.
+func traceIDString(span *textjoin.RequestSpan) string {
+	if span == nil {
+		return ""
+	}
+	return span.TraceID().String()
+}
+
+// joinError finishes a failed /join: it stamps the outcome on the root
+// span, counts the failure for the availability SLO (503 rejections are
+// already counted by the admitter as http.rejected), and answers with
+// the error and the trace ID so the caller can pull the full tree from
+// /debug/requests.
+func (s *server) joinError(w http.ResponseWriter, span *textjoin.RequestSpan, status int, err error) {
+	span.SetInt("http.status", int64(status))
+	span.SetAttr("error", err.Error())
+	if status != http.StatusServiceUnavailable {
+		s.tel.Counter("http.join.err").Add(1)
+	}
+	body := map[string]string{"error": err.Error()}
+	if id := traceIDString(span); id != "" {
+		body["trace_id"] = id
+	}
+	writeJSON(w, status, body)
+}
+
+// recordViewIO hangs one "io" span off the request with the view's
+// per-file page-read breakdown — which files this request touched, and
+// how sequentially.
+func recordViewIO(span *textjoin.RequestSpan, v *textjoin.IOView) {
+	if span == nil {
+		return
+	}
+	io := span.StartChild("io", "view")
+	var seq, rand, writes int64
+	for _, fs := range v.FileStats() {
+		if fs.Stats.Reads() == 0 && fs.Stats.Writes == 0 {
+			continue
+		}
+		io.SetAttr("io.file."+fs.Name, fmt.Sprintf("seq=%d rand=%d writes=%d",
+			fs.Stats.SeqReads, fs.Stats.RandReads, fs.Stats.Writes))
+		seq += fs.Stats.SeqReads
+		rand += fs.Stats.RandReads
+		writes += fs.Stats.Writes
+	}
+	io.SetInt("io.seq_reads", seq)
+	io.SetInt("io.rand_reads", rand)
+	io.SetInt("io.writes", writes)
+	io.End()
+}
+
+// resultHash is a stable FNV-1a digest of a result set — two joins that
+// produced byte-identical rankings share it, so traces of equivalent
+// requests (serial vs parallel, prefiltered vs not) can be compared at
+// a glance.
+func resultHash(results []textjoin.Result) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put32 := func(v uint32) {
+		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(buf[:4])
+	}
+	for _, res := range results {
+		put32(res.Outer)
+		put32(uint32(len(res.Matches)))
+		for _, m := range res.Matches {
+			put32(m.Doc)
+			bits := math.Float64bits(m.Sim)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(bits >> (8 * i))
+			}
+			h.Write(buf[:8])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // retryAfter renders the admission deadline as a whole-second

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"textjoin/internal/metrics"
+	"textjoin/internal/reqtrace"
 	"textjoin/internal/telemetry"
 )
 
@@ -219,6 +220,70 @@ func runSmoke(cfg config, out io.Writer) error {
 			}
 			if err := telemetry.ValidateJSONLines(body); err != nil {
 				return fmt.Errorf("trace stream rejected: %v", err)
+			}
+			return nil
+		}},
+		{"request trace", func() error {
+			// A traced join: the response names its trace, the flight
+			// recorder serves the full tree, and the tree validates
+			// against the reqtrace schema.
+			body, err := get("/join?alg=hvnl&show=0")
+			if err != nil {
+				return err
+			}
+			var j joinResponse
+			if err := json.Unmarshal(body, &j); err != nil {
+				return err
+			}
+			if j.TraceID == "" {
+				return fmt.Errorf("join reply carries no trace_id: %s", body)
+			}
+			list, err := get("/debug/requests?format=json")
+			if err != nil {
+				return err
+			}
+			if !strings.Contains(string(list), j.TraceID) {
+				return fmt.Errorf("flight recorder listing lacks trace %s", j.TraceID)
+			}
+			detail, err := get("/debug/requests/" + j.TraceID + "?format=json")
+			if err != nil {
+				return err
+			}
+			if err := reqtrace.Validate(detail); err != nil {
+				return fmt.Errorf("trace %s rejected: %v", j.TraceID, err)
+			}
+			var d reqtrace.TraceData
+			if err := json.Unmarshal(detail, &d); err != nil {
+				return err
+			}
+			phases := map[string]bool{}
+			for _, sp := range d.Spans {
+				phases[sp.Phase] = true
+			}
+			for _, want := range []string{"request", "queue", "exec", "io"} {
+				if !phases[want] {
+					return fmt.Errorf("trace %s lacks a %s span: %s", j.TraceID, want, detail)
+				}
+			}
+			return nil
+		}},
+		{"slo gauges", func() error {
+			body, err := get("/metrics")
+			if err != nil {
+				return err
+			}
+			if err := metrics.Lint(body); err != nil {
+				return fmt.Errorf("exposition rejected: %v", err)
+			}
+			for _, family := range []string{
+				`textjoin_slo_target{objective="availability"}`,
+				`textjoin_slo_target{objective="latency"}`,
+				"textjoin_slo_compliance", "textjoin_slo_error_budget_remaining",
+				"textjoin_slo_burn_rate", "textjoin_slo_window_seconds",
+			} {
+				if !strings.Contains(string(body), family) {
+					return fmt.Errorf("exposition lacks %s", family)
+				}
 			}
 			return nil
 		}},

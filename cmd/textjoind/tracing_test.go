@@ -1,0 +1,298 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"textjoin/internal/metrics"
+	"textjoin/internal/reqtrace"
+)
+
+// tracedServer is testServer with enough recorder capacity to retain
+// every trace a test produces, and an admission envelope tight enough
+// that a burst queues and overflows — the load shape the flight
+// recorder must survive.
+func tracedServer(t *testing.T, pressure bool) (*server, *httptest.Server) {
+	t.Helper()
+	cfg := defaultConfig()
+	cfg.Scale = 2048
+	cfg.RecorderCap = 256
+	if pressure {
+		cfg.BudgetBytes = 1 << 20
+		cfg.QueueLen = 4
+		cfg.QueueWait = 200 * time.Millisecond
+	}
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// fetchTrace pulls one trace from the flight recorder and validates it
+// against the reqtrace schema.
+func fetchTrace(t *testing.T, hs *httptest.Server, traceID string) reqtrace.TraceData {
+	t.Helper()
+	status, body := get(t, hs, "/debug/requests/"+traceID+"?format=json")
+	if status != http.StatusOK {
+		t.Fatalf("trace %s: status %d: %s", traceID, status, body)
+	}
+	if err := reqtrace.Validate(body); err != nil {
+		t.Fatalf("trace %s rejected: %v\n%s", traceID, err, body)
+	}
+	var d reqtrace.TraceData
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestEveryJoinOutcomeYieldsTrace: accepted, malformed and rejected
+// requests each leave exactly one well-formed trace behind, announced
+// in the Traceparent response header and (where there is a JSON body
+// field for it) in the body.
+func TestEveryJoinOutcomeYieldsTrace(t *testing.T) {
+	_, hs := tracedServer(t, false)
+
+	cases := []struct {
+		path       string
+		wantStatus int
+		wantPhases []string
+	}{
+		{"/join?alg=hvnl&show=0", http.StatusOK, []string{"request", "queue", "exec", "io"}},
+		{"/join?mode=lsh&show=0", http.StatusOK, []string{"request", "queue", "exec", "io"}},
+		{"/join?alg=hvnl&workers=3&show=0", http.StatusOK, []string{"request", "queue", "exec", "io"}},
+		{"/join?alg=hhnl&prefilter=on&show=0", http.StatusOK, []string{"request", "queue", "exec", "io"}},
+		{"/join?alg=auto&show=0", http.StatusOK, []string{"request", "queue", "exec", "io", "plan"}},
+		{"/join?alg=bogus", http.StatusBadRequest, []string{"request"}},
+		{"/join?lambda=-1", http.StatusBadRequest, []string{"request"}},
+	}
+	for _, tc := range cases {
+		resp, err := hs.Client().Get(hs.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s: status %d, want %d", tc.path, resp.StatusCode, tc.wantStatus)
+		}
+		tp := resp.Header.Get(reqtrace.TraceparentHeader)
+		traceID, _, err := reqtrace.ParseTraceparent(tp)
+		if err != nil {
+			t.Fatalf("%s: bad Traceparent %q: %v", tc.path, tp, err)
+		}
+		d := fetchTrace(t, hs, traceID.String())
+		phases := map[string]bool{}
+		for _, sp := range d.Spans {
+			phases[sp.Phase] = true
+		}
+		for _, want := range tc.wantPhases {
+			if !phases[want] {
+				t.Errorf("%s: trace lacks a %s span: %+v", tc.path, want, d.Spans)
+			}
+		}
+	}
+}
+
+// TestTraceparentPropagation: an incoming Traceparent header links the
+// server's trace into the caller's — the response echoes the caller's
+// trace ID and the stored trace records the remote parent span.
+func TestTraceparentPropagation(t *testing.T) {
+	_, hs := tracedServer(t, false)
+
+	const remote = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const parent = "00f067aa0ba902b7"
+	req, err := http.NewRequest("GET", hs.URL+"/join?alg=hvnl&show=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(reqtrace.TraceparentHeader, "00-"+remote+"-"+parent+"-01")
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	traceID, _, err := reqtrace.ParseTraceparent(resp.Header.Get(reqtrace.TraceparentHeader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceID.String() != remote {
+		t.Fatalf("server did not adopt the caller's trace ID: got %s, want %s", traceID, remote)
+	}
+	var j joinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	if j.TraceID != remote {
+		t.Fatalf("join reply trace_id = %q, want %q", j.TraceID, remote)
+	}
+	d := fetchTrace(t, hs, remote)
+	if d.RemoteParent != parent {
+		t.Fatalf("stored trace remote_parent = %q, want %q", d.RemoteParent, parent)
+	}
+}
+
+// TestFlightRecorderUnderLoad is the -race acceptance test: a mixed
+// join burst (serial, parallel, LSH, prefiltered) under a tight
+// admission budget, with scrapers hammering /debug/requests and
+// /metrics the whole time. Every response's trace must come back as a
+// well-formed tree, every scrape must serve valid JSON and a
+// Lint-clean exposition, and the server must not leak goroutines.
+func TestFlightRecorderUnderLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, hs := tracedServer(t, true)
+
+	paths := append(joinPaths(),
+		"/join?mode=lsh&show=0",
+		"/join?mode=lsh&workers=2&show=0",
+		"/join?alg=auto&recall=0.9&show=0",
+	)
+
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrape := func(f func()) {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}()
+	}
+	var mu sync.Mutex
+	var scrapeErrs []string
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		if len(scrapeErrs) < 10 {
+			scrapeErrs = append(scrapeErrs, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+	scrape(func() {
+		status, body := get(t, hs, "/debug/requests?format=json")
+		if status != http.StatusOK {
+			fail("debug/requests: status %d", status)
+			return
+		}
+		var list struct {
+			Slowest []struct {
+				TraceID string `json:"trace_id"`
+			} `json:"slowest"`
+		}
+		if err := json.Unmarshal(body, &list); err != nil {
+			fail("debug/requests: %v", err)
+			return
+		}
+		// Re-fetch whatever the listing names: a trace visible in the
+		// listing must be individually retrievable and schema-valid
+		// even while new requests churn the ring.
+		for _, row := range list.Slowest {
+			status, body := get(t, hs, "/debug/requests/"+row.TraceID+"?format=json")
+			if status != http.StatusOK {
+				continue // evicted between listing and fetch
+			}
+			if err := reqtrace.Validate(body); err != nil {
+				fail("trace %s torn: %v", row.TraceID, err)
+			}
+		}
+	})
+	scrape(func() {
+		status, body := get(t, hs, "/metrics")
+		if status != http.StatusOK {
+			fail("metrics: status %d", status)
+			return
+		}
+		if err := metrics.Lint(body); err != nil {
+			fail("metrics: %v", err)
+		}
+	})
+
+	// The join burst. 503 rejections are expected under this budget —
+	// they must still carry a Traceparent pointing at a stored trace.
+	var joinWG sync.WaitGroup
+	var ids sync.Map
+	for round := 0; round < 3; round++ {
+		for _, p := range paths {
+			joinWG.Add(1)
+			go func(p string) {
+				defer joinWG.Done()
+				resp, err := hs.Client().Get(hs.URL + p)
+				if err != nil {
+					fail("%s: %v", p, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					fail("%s: status %d", p, resp.StatusCode)
+					return
+				}
+				traceID, _, err := reqtrace.ParseTraceparent(resp.Header.Get(reqtrace.TraceparentHeader))
+				if err != nil {
+					fail("%s: bad Traceparent: %v", p, err)
+					return
+				}
+				ids.Store(traceID.String(), resp.StatusCode)
+			}(p)
+		}
+		joinWG.Wait()
+	}
+	close(stop)
+	scrapeWG.Wait()
+	if len(scrapeErrs) > 0 {
+		t.Fatalf("under load:\n%s", strings.Join(scrapeErrs, "\n"))
+	}
+
+	// Every response's trace is retrievable as a complete tree: roots
+	// ended, queue span present, rejected requests marked.
+	n := 0
+	ids.Range(func(k, v any) bool {
+		n++
+		d := fetchTrace(t, hs, k.(string))
+		phases := map[string]bool{}
+		for _, sp := range d.Spans {
+			phases[sp.Phase] = true
+		}
+		if !phases["request"] || !phases["queue"] {
+			t.Errorf("trace %s incomplete: %+v", k, d.Spans)
+		}
+		if v.(int) == http.StatusOK && !phases["exec"] {
+			t.Errorf("accepted trace %s lacks an exec span", k)
+		}
+		return true
+	})
+	if n == 0 {
+		t.Fatal("no traces collected")
+	}
+	t.Logf("collected %d traces under admission pressure", n)
+
+	// Goroutine-leak check: after the burst drains and idle connections
+	// close, the count settles back to (about) where it started.
+	hs.Client().CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"textjoin/internal/analysis"
+	"textjoin/internal/reqtrace"
 	"textjoin/internal/telemetry"
 )
 
@@ -153,5 +154,79 @@ func TestLintcheckClean(t *testing.T) {
 	}
 	for _, d := range report.Diagnostics {
 		t.Errorf("%s", d)
+	}
+}
+
+// requestTraceJSON builds one finished request trace through the real
+// tracer, exactly as textjoind's flight recorder serves it.
+func requestTraceJSON(t *testing.T) []byte {
+	t.Helper()
+	tick := time.Unix(0, 0)
+	tr := reqtrace.NewTracer(7, func() time.Time {
+		tick = tick.Add(time.Millisecond)
+		return tick
+	})
+	root := tr.StartTrace("join")
+	q := root.StartChild("queue", "admission")
+	q.End()
+	e := root.StartChild("exec", "join hvnl")
+	e.SetAttr("join.alg", "hvnl")
+	e.End()
+	root.End()
+	data, err := json.Marshal(root.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestValidateRequestTrace: the per-request format is auto-detected and
+// malformed trees are rejected by every format, not silently accepted
+// by another.
+func TestValidateRequestTrace(t *testing.T) {
+	good := requestTraceJSON(t)
+	if f, err := validate(good); err != nil || f != "request trace" {
+		t.Fatalf("request trace: format %q err %v", f, err)
+	}
+
+	// Corrupt the tree in ways the reqtrace validator must catch: a
+	// dangling parent and a second root.
+	var d reqtrace.TraceData
+	if err := json.Unmarshal(good, &d); err != nil {
+		t.Fatal(err)
+	}
+	dangling := d
+	dangling.Spans = append([]reqtrace.SpanData(nil), d.Spans...)
+	dangling.Spans[len(dangling.Spans)-1].Parent = "00000000000000ff"
+	twoRoots := d
+	twoRoots.Spans = append([]reqtrace.SpanData(nil), d.Spans...)
+	twoRoots.Spans[0].Parent = "" // the queue child, orphaned into a second root
+
+	for name, bad := range map[string]reqtrace.TraceData{
+		"dangling parent": dangling,
+		"two roots":       twoRoots,
+	} {
+		data, err := json.Marshal(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f, err := validate(data); err == nil {
+			t.Errorf("%s accepted as %q", name, f)
+		}
+	}
+
+	// Cross-format isolation: the other two formats stay correctly
+	// attributed, and a request trace never passes as either.
+	if err := telemetry.ValidateJSON(good); err == nil {
+		t.Error("request trace accepted as a snapshot")
+	}
+	if err := telemetry.ValidateJSONLines(good); err == nil {
+		t.Error("request trace accepted as a trace stream")
+	}
+	if err := reqtrace.Validate(snapshotJSON(t)); err == nil {
+		t.Error("snapshot accepted as a request trace")
+	}
+	if err := reqtrace.Validate(jsonlStream(t)); err == nil {
+		t.Error("trace stream accepted as a request trace")
 	}
 }

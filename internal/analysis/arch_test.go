@@ -42,7 +42,7 @@ func TestArchitecture(t *testing.T) {
 	}
 }
 
-// TestRepoLintClean runs the full suite — all five analyzers plus
+// TestRepoLintClean runs the full suite — all six analyzers plus
 // directive hygiene — over the live repo and requires zero diagnostics.
 // This is the checked-in-tree acceptance bar: every suppression in the
 // tree must be explained and load-bearing, every finding fixed.

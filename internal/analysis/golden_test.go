@@ -25,6 +25,8 @@ func fixturePolicy() *Policy {
 			"internal/guards":    {},
 			"internal/iosim":     {},
 			"internal/locks":     {"internal/iosim"},
+			"internal/reqtrace":  {},
+			"internal/spans":     {"internal/reqtrace"},
 			"internal/telemetry": {},
 		},
 		MapDeterminism:  []string{"internal/core"},
@@ -33,6 +35,8 @@ func fixturePolicy() *Policy {
 		MutexScope:      []string{"internal/locks"},
 		MutexForbidden:  []string{"internal/iosim"},
 		MutexJoinScope:  []string{"cmd/served"},
+		SpanScope:       []string{"internal/spans"},
+		SpanPackages:    []string{"internal/reqtrace"},
 	}
 }
 
@@ -53,9 +57,9 @@ func layersPolicy() *Policy {
 func TestGoldenModule(t *testing.T) {
 	report := runGolden(t, "testdata/module", fixturePolicy(), RunOptions{})
 	// One used suppression per analyzer fixture: mapdeterminism,
-	// wallclock, nilrecv, mutexhygiene.
-	if report.Suppressed != 4 {
-		t.Errorf("suppressed = %d, want 4", report.Suppressed)
+	// wallclock, nilrecv, mutexhygiene, spanhygiene.
+	if report.Suppressed != 5 {
+		t.Errorf("suppressed = %d, want 5", report.Suppressed)
 	}
 }
 

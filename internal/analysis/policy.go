@@ -49,6 +49,17 @@ type Policy struct {
 	// simulated device I/O; the serving path must snapshot a view
 	// under a short lock and run the join unlocked.
 	MutexJoinScope []string
+
+	// SpanScope lists the request-path packages in which spanhygiene
+	// tracks trace spans: every span started there must be ended on
+	// all return paths, deferred, or handed off.
+	SpanScope []string
+
+	// SpanPackages lists the module-relative packages whose
+	// End()-bearing named types count as spans for spanhygiene. A
+	// named type outside these packages that wraps one of them in a
+	// struct field (a per-package phase-span wrapper) counts too.
+	SpanPackages []string
 }
 
 // DefaultPolicy returns the live repo's policy. The ImportLayer table
@@ -65,12 +76,14 @@ func DefaultPolicy() *Policy {
 			"internal/codec":     {},
 			"internal/costmodel": {},
 			"internal/relation":  {},
+			"internal/reqtrace":  {},
 			"internal/telemetry": {},
 			"internal/topk":      {},
 
 			"internal/document": {"internal/codec"},
 			"internal/iosim":    {"internal/telemetry"},
 			"internal/metrics":  {"internal/telemetry"},
+			"internal/slo":      {"internal/metrics", "internal/telemetry"},
 
 			"internal/btree":      {"internal/codec", "internal/iosim"},
 			"internal/termmap":    {"internal/codec", "internal/document"},
@@ -88,8 +101,8 @@ func DefaultPolicy() *Policy {
 				"internal/accum", "internal/codec", "internal/collection",
 				"internal/costmodel", "internal/document", "internal/entrycache",
 				"internal/invfile", "internal/iosim", "internal/lsh",
-				"internal/signature", "internal/stats", "internal/telemetry",
-				"internal/topk",
+				"internal/reqtrace", "internal/signature", "internal/stats",
+				"internal/telemetry", "internal/topk",
 			},
 			"internal/query": {
 				"internal/collection", "internal/core", "internal/costmodel",
@@ -109,10 +122,14 @@ func DefaultPolicy() *Policy {
 		NilRecv: map[string][]string{
 			"internal/telemetry": {"Collector", "Counter", "Histogram", "Snapshot"},
 			"internal/metrics":   {"Exporter"},
+			"internal/reqtrace":  {"Tracer", "Span", "Recorder"},
+			"internal/slo":       {"Engine"},
 		},
 		MutexScope:     []string{"internal/metrics", "internal/telemetry", "cmd/textjoind"},
 		MutexForbidden: []string{"internal/iosim"},
 		MutexJoinScope: []string{"cmd/benchreport", "cmd/textjoin", "cmd/textjoind"},
+		SpanScope:      []string{"internal/core", "cmd/textjoind"},
+		SpanPackages:   []string{"internal/reqtrace", "internal/telemetry"},
 	}
 }
 
@@ -124,5 +141,6 @@ func Analyzers(pol *Policy) []Analyzer {
 		&wallClock{pol: pol},
 		&nilRecv{pol: pol},
 		&mutexHygiene{pol: pol},
+		&spanHygiene{pol: pol},
 	}
 }

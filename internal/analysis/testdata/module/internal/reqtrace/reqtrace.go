@@ -1,0 +1,18 @@
+// Package reqtrace is the fixture span provider for the spanhygiene
+// rule: a named type with an End method in a policy span package.
+package reqtrace
+
+// Span is the fixture span type.
+type Span struct{ open bool }
+
+// StartSpan opens a root span.
+func StartSpan(name string) *Span { return &Span{open: true} }
+
+// StartChild opens a child span.
+func (s *Span) StartChild(name string) *Span { return &Span{open: true} }
+
+// End closes the span.
+func (s *Span) End() { s.open = false }
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(k, v string) {}

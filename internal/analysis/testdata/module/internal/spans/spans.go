@@ -1,0 +1,109 @@
+// Package spans exercises the spanhygiene rule: every span started in
+// a scope package must be ended on all return paths, deferred, or
+// handed off to someone who will end it.
+package spans
+
+import "fixture/internal/reqtrace"
+
+// phase wraps the provider span the way a per-package phase span does;
+// the struct-field rule makes the wrapper count as a span too.
+type phase struct{ s *reqtrace.Span }
+
+// End closes the wrapped span.
+func (p phase) End() { p.s.End() }
+
+// startPhase constructs the wrapper; the construction itself neither
+// binds nor drops a tracked variable, exactly like the real core's
+// phase-span helper.
+func startPhase(name string) phase { return phase{s: reqtrace.StartSpan(name)} }
+
+// Dropped starts a span as a bare statement: nothing can ever end it.
+func Dropped() {
+	reqtrace.StartSpan("dropped") // want spanhygiene "discards it"
+}
+
+// Blank discards the span through the blank identifier.
+func Blank() {
+	_ = reqtrace.StartSpan("blank") // want spanhygiene "discards it"
+}
+
+// NeverEnded binds the span but no path ends it.
+func NeverEnded() {
+	s := reqtrace.StartSpan("leak") // want spanhygiene "never ends it"
+	s.SetAttr("k", "v")
+}
+
+// EarlyReturn ends the span on the happy path but leaks it on the
+// error path — the exact bug the rule exists to catch.
+func EarlyReturn(fail bool) {
+	s := reqtrace.StartSpan("early")
+	if fail {
+		return // want spanhygiene "returns without ending span s"
+	}
+	s.End()
+}
+
+// WrapperLeak leaks through the local phase wrapper: the struct-field
+// rule sees through it.
+func WrapperLeak(fail bool) {
+	p := startPhase("wrapped")
+	if fail {
+		return // want spanhygiene "returns without ending span p"
+	}
+	p.End()
+}
+
+// Deferred is the canonical safe shape: the deferred End runs on every
+// return path, panics included.
+func Deferred(fail bool) {
+	s := reqtrace.StartSpan("deferred")
+	defer s.End()
+	if fail {
+		return
+	}
+	s.SetAttr("k", "v")
+}
+
+// AllPaths ends the span explicitly before each return.
+func AllPaths(fail bool) {
+	s := reqtrace.StartSpan("paths")
+	if fail {
+		s.End()
+		return
+	}
+	s.SetAttr("k", "v")
+	s.End()
+}
+
+// Children started and ended inline stay clean, including the chained
+// start-and-end expression.
+func Children() {
+	s := reqtrace.StartSpan("parent")
+	c := s.StartChild("child")
+	c.End()
+	s.StartChild("instant").End()
+	s.End()
+}
+
+// HandOff transfers the End responsibility to the callee.
+func HandOff() {
+	s := reqtrace.StartSpan("given")
+	record(s)
+}
+
+func record(s *reqtrace.Span) { s.End() }
+
+// Returned hands the span to the caller: the return is an escape, not
+// a leak.
+func Returned() *reqtrace.Span {
+	s := reqtrace.StartSpan("exported")
+	s.SetAttr("k", "v")
+	return s
+}
+
+// Justified keeps a deliberate leak with an explanation.
+func Justified() {
+	//lint:ignore spanhygiene fixture: process-lifetime span ended at shutdown elsewhere
+	s := reqtrace.StartSpan("background")
+	s.SetAttr("k", "v")
+}

@@ -34,6 +34,7 @@ import (
 	"textjoin/internal/invfile"
 	"textjoin/internal/iosim"
 	"textjoin/internal/lsh"
+	"textjoin/internal/reqtrace"
 	"textjoin/internal/telemetry"
 	"textjoin/internal/topk"
 )
@@ -133,6 +134,13 @@ type Options struct {
 	// near-zero overhead; enabling it never changes results or Stats,
 	// which the differential test harness pins.
 	Telemetry *telemetry.Collector
+	// Trace is the request-scoped parent span: every phase the join
+	// runs hangs a child span under it, mirroring the aggregate
+	// telemetry phase spans with per-request causality. nil (the
+	// default) disables request tracing with the same zero-allocation
+	// contract as a nil Telemetry collector; tracing never changes
+	// results or Stats.
+	Trace *reqtrace.Span
 	// Prefilter supplies signature sidecars for pruning provably
 	// zero-similarity work from HHNL and HVNL (VVM's merge already
 	// touches only co-occurring terms and ignores it). nil disables
@@ -321,6 +329,28 @@ func recordJoinStats(tel *telemetry.Collector, st *Stats) {
 		tel.Counter(p + ".pages_skipped").Add(st.LSH.PagesSkipped)
 		tel.Counter(p + ".docs_skipped").Add(st.LSH.DocsSkipped)
 	}
+}
+
+// phaseSpan pairs the aggregate telemetry span with the per-request
+// trace span, so every instrumented phase reports to both sinks with
+// one call. It is a value type: when both sinks are disabled (nil
+// collector, nil trace) startPhase allocates nothing and End is two
+// nil checks.
+type phaseSpan struct {
+	tel telemetry.Span
+	req *reqtrace.Span
+}
+
+// startPhase opens the phase in both sinks under the same phase label,
+// so the request tree and the aggregate phase histograms line up.
+func startPhase(tel *telemetry.Collector, trace *reqtrace.Span, phase, name string) phaseSpan {
+	return phaseSpan{tel: tel.StartSpan(phase, name), req: trace.StartChild(phase, name)}
+}
+
+// End finishes the phase in both sinks.
+func (p phaseSpan) End() {
+	p.tel.End()
+	p.req.End()
 }
 
 // alpha returns the cost ratio of the disk backing the first non-nil file.

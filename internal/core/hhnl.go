@@ -93,7 +93,7 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 		sigCfg = pf.Inner.Config()
 	}
 	track := trackIO(in.Outer.File(), in.Inner.File())
-	tel := opts.Telemetry
+	tel, trace := opts.Telemetry, opts.Trace
 
 	var results []Result
 	outer := in.Outer.Documents()
@@ -101,7 +101,7 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 	done := false
 	for !done {
 		// Fill the next batch of outer documents within the budget.
-		fill := tel.StartSpan(telemetry.PhaseScan, "hhnl.fill-batch")
+		fill := startPhase(tel, trace, telemetry.PhaseScan, "hhnl.fill-batch")
 		var batch []*document.Document
 		var used int64
 		for {
@@ -116,6 +116,7 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 					break
 				}
 				if err != nil {
+					fill.End()
 					return nil, nil, err
 				}
 			}
@@ -125,6 +126,7 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 				break
 			}
 			if used+cost > budget {
+				fill.End()
 				return nil, nil, fmt.Errorf("%w: outer document %d (%d bytes) exceeds the batch budget %d",
 					ErrInsufficientMemory, d.ID, cost, budget)
 			}
@@ -150,7 +152,7 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 		// the filtered scan then never reads the skipped pages.
 		var nextInner func() (*document.Document, error)
 		if pf != nil {
-			filter := tel.StartSpan(telemetry.PhaseScan, "hhnl.prefilter")
+			filter := startPhase(tel, trace, telemetry.PhaseScan, "hhnl.prefilter")
 			q = batchSig(sigCfg, batch, q)
 			need, err = sidecarNeed(pf.Inner, in.Inner, q, need, &stats.Prefilter)
 			filter.End()
@@ -164,13 +166,14 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 		// One full scan of the inner collection per batch. Each inner
 		// document is consumed before the next is read, so the scan's
 		// reuse arena suffices — the hot loop allocates nothing.
-		score := tel.StartSpan(telemetry.PhaseScore, "hhnl.inner-scan")
+		score := startPhase(tel, trace, telemetry.PhaseScore, "hhnl.inner-scan")
 		for {
 			d1, err := nextInner()
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
+				score.End()
 				return nil, nil, err
 			}
 			anyHit := false
@@ -187,7 +190,7 @@ func hhnlForward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *S
 			}
 		}
 		score.End()
-		flush := tel.StartSpan(telemetry.PhaseFlush, "hhnl.flush-batch")
+		flush := startPhase(tel, trace, telemetry.PhaseFlush, "hhnl.flush-batch")
 		for i, d2 := range batch {
 			results = append(results, Result{Outer: d2.ID, Matches: trackers[i].Results()})
 		}
@@ -217,7 +220,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 			ErrInsufficientMemory, opts.MemoryPages, in.Outer.NumDocs())
 	}
 	track := trackIO(in.Outer.File(), in.Inner.File())
-	tel := opts.Telemetry
+	tel, trace := opts.Telemetry, opts.Trace
 
 	trackers := make(map[uint32]*topk.TopK)
 	var order []uint32
@@ -226,7 +229,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 	done := false
 	firstPass := true
 	for !done {
-		fill := tel.StartSpan(telemetry.PhaseScan, "hhnl.backward.fill-batch")
+		fill := startPhase(tel, trace, telemetry.PhaseScan, "hhnl.backward.fill-batch")
 		var batch []*document.Document
 		var used int64
 		for {
@@ -241,6 +244,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 					break
 				}
 				if err != nil {
+					fill.End()
 					return nil, nil, err
 				}
 			}
@@ -250,6 +254,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 				break
 			}
 			if used+cost > budget {
+				fill.End()
 				return nil, nil, fmt.Errorf("%w: inner document %d (%d bytes) exceeds the batch budget %d",
 					ErrInsufficientMemory, d.ID, cost, budget)
 			}
@@ -268,7 +273,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 		// The streamed outer side is consumed one document at a time, so
 		// the reuse path applies (the resident inner batch, by contrast,
 		// is built from stable Next documents above).
-		score := tel.StartSpan(telemetry.PhaseScore, "hhnl.backward.outer-scan")
+		score := startPhase(tel, trace, telemetry.PhaseScore, "hhnl.backward.outer-scan")
 		outerIt := in.Outer.Documents()
 		for {
 			d2, err := collection.NextReuse(outerIt)
@@ -276,6 +281,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 				break
 			}
 			if err != nil {
+				score.End()
 				return nil, nil, err
 			}
 			tk := trackers[d2.ID]
@@ -313,7 +319,7 @@ func hhnlBackward(in Inputs, opts Options, scorer *document.Scorer) ([]Result, *
 			stats.OuterDocs++
 		}
 	}
-	flush := tel.StartSpan(telemetry.PhaseFinalize, "hhnl.backward.finalize")
+	flush := startPhase(tel, trace, telemetry.PhaseFinalize, "hhnl.backward.finalize")
 	results := make([]Result, 0, len(order))
 	for _, id := range order {
 		results = append(results, Result{Outer: id, Matches: trackers[id].Results()})

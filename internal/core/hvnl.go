@@ -61,10 +61,10 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 		treeFile = in.InnerInv.Tree().File()
 	}
 	track := trackIO(in.Outer.File(), invFile, treeFile)
-	tel := opts.Telemetry
+	tel, trace := opts.Telemetry, opts.Trace
 
 	// One-time load of the B+tree into memory.
-	setup := tel.StartSpan(telemetry.PhaseSetup, "hvnl.load-index")
+	setup := startPhase(tel, trace, telemetry.PhaseSetup, "hvnl.load-index")
 	index, err := in.InnerInv.LoadIndex()
 	setup.End()
 	if err != nil {
@@ -122,7 +122,7 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 		seqCost := float64(invStats.I)
 		randCost := float64(neededPages) * invFile.Disk().Alpha()
 		if seqCost < randCost {
-			preload := tel.StartSpan(telemetry.PhaseScan, "hvnl.preload")
+			preload := startPhase(tel, trace, telemetry.PhaseScan, "hvnl.preload")
 			sc := in.InnerInv.Scan()
 			for {
 				entry, err := sc.Next()
@@ -130,6 +130,7 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 					break
 				}
 				if err != nil {
+					preload.End()
 					return nil, nil, err
 				}
 				cache.Put(entry.Term, entry, entry.Bytes()+3)
@@ -149,7 +150,7 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 	// sidecar) their pages are never read.
 	var opf *outerPrefilter
 	if pf != nil {
-		filter := tel.StartSpan(telemetry.PhaseSetup, "hvnl.prefilter")
+		filter := startPhase(tel, trace, telemetry.PhaseSetup, "hvnl.prefilter")
 		opf, err = newOuterPrefilter(in, pf, stats)
 		filter.End()
 		if err != nil {
@@ -159,7 +160,7 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 
 	// Each outer document is fully processed before the next is read, so
 	// the reuse path applies: one arena document for the whole sweep.
-	probe := tel.StartSpan(telemetry.PhaseProbe, "hvnl.outer-sweep")
+	probe := startPhase(tel, trace, telemetry.PhaseProbe, "hvnl.outer-sweep")
 	var outer collection.DocIterator
 	if opf == nil {
 		outer = in.Outer.Documents()
@@ -174,6 +175,7 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 				break
 			}
 			if err != nil {
+				probe.End()
 				return nil, nil, err
 			}
 			if skipped {
@@ -187,6 +189,7 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 				break
 			}
 			if err != nil {
+				probe.End()
 				return nil, nil, err
 			}
 		}
@@ -217,6 +220,7 @@ func JoinHVNL(in Inputs, opts Options) ([]Result, *Stats, error) {
 			if !ok {
 				entry, err = in.InnerInv.FetchEntry(c.Term)
 				if err != nil {
+					probe.End()
 					return nil, nil, err
 				}
 				stats.EntryFetches++

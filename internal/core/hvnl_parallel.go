@@ -91,9 +91,9 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		treeFile = in.InnerInv.Tree().File()
 	}
 	track := trackIO(in.Outer.File(), invFile, treeFile)
-	tel := opts.Telemetry
+	tel, trace := opts.Telemetry, opts.Trace
 
-	setup := tel.StartSpan(telemetry.PhaseSetup, "hvnlp.load-index")
+	setup := startPhase(tel, trace, telemetry.PhaseSetup, "hvnlp.load-index")
 	index, err := in.InnerInv.LoadIndex()
 	setup.End()
 	if err != nil {
@@ -137,7 +137,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		seqCost := float64(invStats.I)
 		randCost := float64(neededPages) * invFile.Disk().Alpha()
 		if seqCost < randCost {
-			preload := tel.StartSpan(telemetry.PhaseScan, "hvnlp.preload")
+			preload := startPhase(tel, trace, telemetry.PhaseScan, "hvnlp.preload")
 			sc := in.InnerInv.Scan()
 			for {
 				entry, err := sc.Next()
@@ -145,6 +145,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 					break
 				}
 				if err != nil {
+					preload.End()
 					return nil, nil, err
 				}
 				cache.Put(entry.Term, entry, entry.Bytes()+3)
@@ -216,7 +217,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 	// row the serial skip fabricates.
 	var opf *outerPrefilter
 	if pf != nil {
-		filter := tel.StartSpan(telemetry.PhaseSetup, "hvnlp.prefilter")
+		filter := startPhase(tel, trace, telemetry.PhaseSetup, "hvnlp.prefilter")
 		opf, err = newOuterPrefilter(in, pf, stats)
 		filter.End()
 		if err != nil {
@@ -225,7 +226,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		}
 	}
 
-	probe := tel.StartSpan(telemetry.PhaseProbe, "hvnlp.outer-sweep")
+	probe := startPhase(tel, trace, telemetry.PhaseProbe, "hvnlp.outer-sweep")
 	var outer collection.DocIterator
 	if opf == nil {
 		outer = in.Outer.Documents()
@@ -240,6 +241,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 				break
 			}
 			if err != nil {
+				probe.End()
 				finish()
 				return nil, nil, err
 			}
@@ -254,6 +256,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 				break
 			}
 			if err != nil {
+				probe.End()
 				finish()
 				return nil, nil, err
 			}
@@ -282,6 +285,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 			if !ok {
 				entry, err = in.InnerInv.FetchEntry(c.Term)
 				if err != nil {
+					probe.End()
 					finish()
 					return nil, nil, err
 				}
@@ -337,7 +341,7 @@ func JoinHVNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 
 	// Merge the per-worker candidates: disjoint blocks plus a total
 	// tracker order make the merged top-λ equal the serial one.
-	mergeSpan := tel.StartSpan(telemetry.PhaseMerge, "hvnlp.merge-trackers")
+	mergeSpan := startPhase(tel, trace, telemetry.PhaseMerge, "hvnlp.merge-trackers")
 	results := make([]Result, 0, len(slots))
 	for _, slot := range slots {
 		merged := topk.New(opts.Lambda)

@@ -7,6 +7,7 @@ import (
 
 	"textjoin/internal/collection"
 	"textjoin/internal/costmodel"
+	"textjoin/internal/reqtrace"
 	"textjoin/internal/stats"
 	"textjoin/internal/telemetry"
 )
@@ -196,18 +197,76 @@ func recordPlan(tel *telemetry.Collector, dec Decision) {
 	}
 }
 
+// chosenEstimate returns the estimated cost of the plan the decision
+// picked (matching algorithm and prefilter flag), or NaN when the
+// estimate list lacks it.
+func chosenEstimate(dec Decision) float64 {
+	var want costmodel.Algorithm
+	switch dec.Chosen {
+	case HHNL:
+		want = costmodel.AlgHHNL
+	case HVNL:
+		want = costmodel.AlgHVNL
+	case VVM:
+		want = costmodel.AlgVVM
+	case LSH:
+		want = costmodel.AlgLSH
+	}
+	for _, e := range dec.Estimates {
+		if e.Algorithm == want && e.Prefiltered == dec.Prefiltered {
+			return e.Seq
+		}
+	}
+	return math.NaN()
+}
+
+// PlanErrorBuckets are the bounds of the "plan.error.log2" histogram:
+// signed milli-log2 of measured/estimated cost, so one bucket is a
+// fixed multiplicative error band (±1000 ≙ a factor of 2, ±250 ≙
+// ~19%). Symmetric around zero because the model can miss both ways.
+var PlanErrorBuckets = []int64{-4000, -2000, -1000, -500, -250, -100, 0, 100, 250, 500, 1000, 2000, 4000}
+
+// recordPlanAudit publishes the per-request estimated-vs-measured
+// comparison once the chosen plan has run: the live counterpart of the
+// offline calibration report. The signed milli-log2 cost error goes to
+// the "plan.error.log2" telemetry histogram, and the request span gets
+// the measured cost and error as attributes next to the plan span's
+// estimates.
+func recordPlanAudit(tel *telemetry.Collector, trace *reqtrace.Span, dec Decision, measured float64) {
+	trace.SetFloat("plan.measured_cost", measured)
+	est := chosenEstimate(dec)
+	if math.IsNaN(est) || math.IsInf(est, 0) || est <= 0 || measured <= 0 {
+		return
+	}
+	milliLog2 := int64(math.Round(math.Log2(measured/est) * 1000))
+	trace.SetFloat("plan.estimated_cost", est)
+	trace.SetInt("plan.error_log2_milli", milliLog2)
+	if tel != nil {
+		tel.Histogram("plan.error.log2", PlanErrorBuckets).Observe(milliLog2)
+	}
+}
+
 // JoinIntegrated implements the paper's integrated algorithm: estimate the
 // cost of each basic algorithm from the collection statistics, system
 // parameters and query parameters, then run the one with the lowest
 // estimated cost.
 func JoinIntegrated(in Inputs, opts Options) ([]Result, *Stats, Decision, error) {
-	tel := opts.Telemetry
-	span := tel.StartSpan(telemetry.PhasePlan, "integrated.choose")
+	tel, trace := opts.Telemetry, opts.Trace
+	span := startPhase(tel, trace, telemetry.PhasePlan, "integrated.choose")
 	dec, err := Choose(in, opts)
-	span.End()
 	if err != nil {
+		span.End()
 		return nil, nil, dec, err
 	}
+	span.req.SetAttr("plan.chosen", dec.Chosen.String())
+	if est := chosenEstimate(dec); !math.IsNaN(est) {
+		span.req.SetFloat("plan.estimated_cost", est)
+	}
+	span.req.SetFloat("plan.estimated_recall", dec.EstimatedRecall)
+	if dec.Prefiltered {
+		span.req.SetAttr("plan.prefiltered", "true")
+	}
+	span.End()
 	recordPlan(tel, dec)
 	if !dec.Prefiltered {
 		// The unfiltered plan won on estimated cost; run it without the
@@ -215,10 +274,13 @@ func JoinIntegrated(in Inputs, opts Options) ([]Result, *Stats, Decision, error)
 		opts.Prefilter = nil
 	}
 	results, stats, err := Join(dec.Chosen, in, opts)
-	if err == nil && tel != nil {
-		// Measured counterpart of the estimates above: the chosen
-		// algorithm's actual α-priced cost, in the same page units.
-		tel.Event(telemetry.PhasePlan, "measured."+strings.ToLower(dec.Chosen.String())+".cost", costUnits(stats.Cost))
+	if err == nil {
+		if tel != nil {
+			// Measured counterpart of the estimates above: the chosen
+			// algorithm's actual α-priced cost, in the same page units.
+			tel.Event(telemetry.PhasePlan, "measured."+strings.ToLower(dec.Chosen.String())+".cost", costUnits(stats.Cost))
+		}
+		recordPlanAudit(tel, trace, dec, stats.Cost)
 	}
 	return results, stats, dec, err
 }

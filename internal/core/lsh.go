@@ -55,7 +55,7 @@ func JoinLSH(in Inputs, opts Options) ([]Result, *Stats, error) {
 		return nil, nil, err
 	}
 	track := trackIO(in.Outer.File(), in.Inner.File())
-	tel := opts.Telemetry
+	tel, trace := opts.Telemetry, opts.Trace
 	gen := newLSHCandidates(sc, in)
 
 	var results []Result
@@ -63,7 +63,7 @@ func JoinLSH(in Inputs, opts Options) ([]Result, *Stats, error) {
 	var pending *document.Document
 	done := false
 	for !done {
-		fill := tel.StartSpan(telemetry.PhaseScan, "lsh.fill-batch")
+		fill := startPhase(tel, trace, telemetry.PhaseScan, "lsh.fill-batch")
 		var batch []*document.Document
 		var used int64
 		for {
@@ -78,6 +78,7 @@ func JoinLSH(in Inputs, opts Options) ([]Result, *Stats, error) {
 					break
 				}
 				if err != nil {
+					fill.End()
 					return nil, nil, err
 				}
 			}
@@ -87,6 +88,7 @@ func JoinLSH(in Inputs, opts Options) ([]Result, *Stats, error) {
 				break
 			}
 			if used+cost > budget {
+				fill.End()
 				return nil, nil, fmt.Errorf("%w: outer document %d (%d bytes) exceeds the batch budget %d",
 					ErrInsufficientMemory, d.ID, cost, budget)
 			}
@@ -110,7 +112,7 @@ func JoinLSH(in Inputs, opts Options) ([]Result, *Stats, error) {
 		// Probe the buckets with every resident outer document's band
 		// keys, building the per-inner-document candidate lists and the
 		// keep vector for the filtered verify scan.
-		cand := tel.StartSpan(telemetry.PhaseScan, "lsh.candidates")
+		cand := startPhase(tel, trace, telemetry.PhaseScan, "lsh.candidates")
 		err := gen.generate(batch, stats)
 		cand.End()
 		if err != nil {
@@ -121,7 +123,7 @@ func JoinLSH(in Inputs, opts Options) ([]Result, *Stats, error) {
 		// against exactly the resident outer documents it collided
 		// with. One document consumed at a time, so the reuse arena
 		// applies.
-		score := tel.StartSpan(telemetry.PhaseScore, "lsh.verify-scan")
+		score := startPhase(tel, trace, telemetry.PhaseScore, "lsh.verify-scan")
 		next := in.Inner.ScanFiltered(gen.keepFunc()).NextReuse
 		for {
 			d1, err := next()
@@ -129,6 +131,7 @@ func JoinLSH(in Inputs, opts Options) ([]Result, *Stats, error) {
 				break
 			}
 			if err != nil {
+				score.End()
 				return nil, nil, err
 			}
 			for _, i := range gen.lists[d1.ID] {
@@ -138,7 +141,7 @@ func JoinLSH(in Inputs, opts Options) ([]Result, *Stats, error) {
 			}
 		}
 		score.End()
-		flush := tel.StartSpan(telemetry.PhaseFlush, "lsh.flush-batch")
+		flush := startPhase(tel, trace, telemetry.PhaseFlush, "lsh.flush-batch")
 		for i, d2 := range batch {
 			results = append(results, Result{Outer: d2.ID, Matches: trackers[i].Results()})
 		}
@@ -182,7 +185,7 @@ func JoinLSHParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 		return nil, nil, err
 	}
 	track := trackIO(in.Outer.File(), in.Inner.File())
-	tel := opts.Telemetry
+	tel, trace := opts.Telemetry, opts.Trace
 	gen := newLSHCandidates(sc, in)
 
 	const chunkSize = 64
@@ -196,7 +199,7 @@ func JoinLSHParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 	var pending *document.Document
 	done := false
 	for !done {
-		fill := tel.StartSpan(telemetry.PhaseScan, "lshp.fill-batch")
+		fill := startPhase(tel, trace, telemetry.PhaseScan, "lshp.fill-batch")
 		var batch []*document.Document
 		var used int64
 		for {
@@ -211,6 +214,7 @@ func JoinLSHParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 					break
 				}
 				if err != nil {
+					fill.End()
 					return nil, nil, err
 				}
 			}
@@ -220,6 +224,7 @@ func JoinLSHParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 				break
 			}
 			if used+cost > budget {
+				fill.End()
 				return nil, nil, fmt.Errorf("%w: outer document %d (%d bytes) exceeds the batch budget %d",
 					ErrInsufficientMemory, d.ID, cost, budget)
 			}
@@ -238,7 +243,7 @@ func JoinLSHParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 
 		// Candidate generation on the coordinator, before any worker
 		// starts: the lists and keep vector are read-only afterwards.
-		cand := tel.StartSpan(telemetry.PhaseScan, "lshp.candidates")
+		cand := startPhase(tel, trace, telemetry.PhaseScan, "lshp.candidates")
 		err := gen.generate(batch, stats)
 		cand.End()
 		if err != nil {
@@ -280,7 +285,7 @@ func JoinLSHParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 
 		// Single-threaded filtered scan; cloned documents because they
 		// outlive the scan step inside worker chunks.
-		score := tel.StartSpan(telemetry.PhaseScore, "lshp.verify-scan")
+		score := startPhase(tel, trace, telemetry.PhaseScore, "lshp.verify-scan")
 		next := in.Inner.ScanFiltered(gen.keepFunc()).Next
 		var scanErr error
 		chunk := chunkPool.Get().(*[]*document.Document)
@@ -309,7 +314,7 @@ func JoinLSHParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 			return nil, nil, scanErr
 		}
 
-		merge := tel.StartSpan(telemetry.PhaseMerge, "lshp.merge-trackers")
+		merge := startPhase(tel, trace, telemetry.PhaseMerge, "lshp.merge-trackers")
 		for i, d2 := range batch {
 			merged := topk.New(opts.Lambda)
 			for w := 0; w < nWorkers; w++ {

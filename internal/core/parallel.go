@@ -80,7 +80,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		sigCfg = pf.Inner.Config()
 	}
 	track := trackIO(in.Outer.File(), in.Inner.File())
-	tel := opts.Telemetry
+	tel, trace := opts.Telemetry, opts.Trace
 
 	const chunkSize = 64
 	chunkPool := sync.Pool{New: func() any {
@@ -93,7 +93,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 	var pending *document.Document
 	done := false
 	for !done {
-		fill := tel.StartSpan(telemetry.PhaseScan, "hhnlp.fill-batch")
+		fill := startPhase(tel, trace, telemetry.PhaseScan, "hhnlp.fill-batch")
 		var batch []*document.Document
 		var used int64
 		for {
@@ -108,6 +108,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 					break
 				}
 				if err != nil {
+					fill.End()
 					return nil, nil, err
 				}
 			}
@@ -117,6 +118,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 				break
 			}
 			if used+cost > budget {
+				fill.End()
 				return nil, nil, fmt.Errorf("%w: outer document %d (%d bytes) exceeds the batch budget %d",
 					ErrInsufficientMemory, d.ID, cost, budget)
 			}
@@ -178,7 +180,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		// the serial algorithm — same keep vector, same skipped pages.
 		var nextInner func() (*document.Document, error)
 		if pf != nil {
-			filter := tel.StartSpan(telemetry.PhaseScan, "hhnlp.prefilter")
+			filter := startPhase(tel, trace, telemetry.PhaseScan, "hhnlp.prefilter")
 			var pfErr error
 			q = batchSig(sigCfg, batch, q)
 			need, pfErr = sidecarNeed(pf.Inner, in.Inner, q, need, &stats.Prefilter)
@@ -194,7 +196,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 		}
 
 		// Single-threaded sequential scan of the inner collection.
-		score := tel.StartSpan(telemetry.PhaseScore, "hhnlp.inner-scan")
+		score := startPhase(tel, trace, telemetry.PhaseScore, "hhnlp.inner-scan")
 		var scanErr error
 		chunk := chunkPool.Get().(*[]*document.Document)
 		for {
@@ -222,7 +224,7 @@ func JoinHHNLParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, e
 			return nil, nil, scanErr
 		}
 
-		merge := tel.StartSpan(telemetry.PhaseMerge, "hhnlp.merge-trackers")
+		merge := startPhase(tel, trace, telemetry.PhaseMerge, "hhnlp.merge-trackers")
 		for i, d2 := range batch {
 			merged := topk.New(opts.Lambda)
 			for w := 0; w < nWorkers; w++ {
@@ -298,7 +300,7 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 	}
 	stats := plan.stats
 	n1 := int(in.Inner.NumDocs())
-	tel := opts.Telemetry
+	tel, trace := opts.Telemetry, opts.Trace
 
 	var results []Result
 	for p := 0; p < plan.passes; p++ {
@@ -382,7 +384,7 @@ func JoinVVMParallel(in Inputs, opts Options, workers int) ([]Result, *Stats, er
 		// Route each common-term pair: both the entry's cells and the rank
 		// blocks ascend by document number, so one forward sweep with a
 		// binary search per block boundary splits the cell list.
-		merge := tel.StartSpan(telemetry.PhaseMerge, "vvmp.merge-scan")
+		merge := startPhase(tel, trace, telemetry.PhaseMerge, "vvmp.merge-scan")
 		scanErr := mergeScan(in.InnerInv, in.OuterInv, false, func(term uint32, e1, e2 *invfile.Entry) {
 			factor := scorer.TermFactor(term)
 			if factor == 0 {

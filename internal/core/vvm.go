@@ -58,7 +58,7 @@ func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
 	}
 	stats := plan.stats
 	n1 := int(in.Inner.NumDocs())
-	tel := opts.Telemetry
+	tel, trace := opts.Telemetry, opts.Trace
 	occupancy := tel.Histogram("vvm.accum.occupancy", telemetry.DefaultSizeBuckets)
 
 	var results []Result
@@ -74,7 +74,7 @@ func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
 			tel.Counter("join.vvm.accum." + acc.Kind()).Add(1)
 		}
 
-		merge := tel.StartSpan(telemetry.PhaseMerge, "vvm.merge-scan")
+		merge := startPhase(tel, trace, telemetry.PhaseMerge, "vvm.merge-scan")
 		if err := mergeScan(in.InnerInv, in.OuterInv, true, func(term uint32, e1, e2 *invfile.Entry) {
 			factor := scorer.TermFactor(term)
 			if factor == 0 {
@@ -105,7 +105,7 @@ func JoinVVM(in Inputs, opts Options) ([]Result, *Stats, error) {
 		// Emit the λ best matches for every outer document in the range,
 		// including documents with no non-zero similarity. rangeIDs is
 		// ascending, so row order is emission order.
-		finalize := tel.StartSpan(telemetry.PhaseFinalize, "vvm.emit-range")
+		finalize := startPhase(tel, trace, telemetry.PhaseFinalize, "vvm.emit-range")
 		trackers := make([]*topk.TopK, len(rangeIDs))
 		acc.ForEach(func(row int, inner uint32, raw float64) {
 			tk := trackers[row]

@@ -3,6 +3,7 @@ package iosim
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrReadOnlyView is returned when a write is attempted through a view
@@ -80,6 +81,27 @@ func (v *View) Stats() Stats {
 	v.disk.mu.Lock()
 	defer v.disk.mu.Unlock()
 	return v.stats
+}
+
+// FileStat is one file's I/O counters within a view session.
+type FileStat struct {
+	Name  string
+	Stats Stats
+}
+
+// FileStats returns the per-file I/O performed through the view so
+// far, sorted by file name — the per-request breakdown a trace span
+// attaches before the view closes. Files the view never touched do
+// not appear.
+func (v *View) FileStats() []FileStat {
+	v.disk.mu.Lock()
+	defer v.disk.mu.Unlock()
+	out := make([]FileStat, 0, len(v.clones))
+	for base, c := range v.clones {
+		out = append(out, FileStat{Name: base.name, Stats: c.stats})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // ParkHeads parks every session head of the view (and the view's shared

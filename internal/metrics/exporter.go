@@ -24,13 +24,27 @@ import (
 // Exporter is safe for concurrent use; concurrent scrapes serialize only
 // on the small previous-snapshot swap, not on encoding.
 type Exporter struct {
-	col *telemetry.Collector
-	now func() time.Time
+	col   *telemetry.Collector
+	now   func() time.Time
+	extra func() []Gauge
 
 	mu      sync.Mutex
 	prev    *telemetry.Snapshot
 	prevAt  time.Time
 	scrapes int64
+}
+
+// Gauge is one externally-computed gauge sample injected into a scrape
+// by a WithExtraGauges callback — the hook the SLO engine uses to
+// export textjoin_slo_* families next to the telemetry-derived ones.
+type Gauge struct {
+	// Family is the full family name, e.g. "textjoin_slo_burn_rate".
+	Family string
+	// Help overrides the family HELP text when non-empty.
+	Help string
+	// LabelKey/LabelValue attach one label when LabelKey is non-empty.
+	LabelKey, LabelValue string
+	Value                float64
 }
 
 // ExporterOption configures an Exporter.
@@ -40,6 +54,13 @@ type ExporterOption func(*Exporter)
 // letting tests produce deterministic rates.
 func WithExporterClock(now func() time.Time) ExporterOption {
 	return func(e *Exporter) { e.now = now }
+}
+
+// WithExtraGauges registers a callback invoked on every scrape; the
+// gauges it returns are rendered into the exposition alongside the
+// snapshot-derived families. A nil callback is ignored.
+func WithExtraGauges(fn func() []Gauge) ExporterOption {
+	return func(e *Exporter) { e.extra = fn }
 }
 
 // NewExporter creates an exporter over col (which may be nil).
@@ -79,6 +100,19 @@ func (e *Exporter) WriteMetrics(w io.Writer) error {
 		fs.addRates(s.Diff(prev), now.Sub(prevAt).Seconds())
 	}
 	fs.addInt(Namespace+"_scrapes_total", "counter", nil, scrapes)
+	if e.extra != nil {
+		for _, g := range e.extra() {
+			f := fs.get(g.Family, "gauge")
+			if g.Help != "" {
+				f.help = g.Help
+			}
+			var labels []labelPair
+			if g.LabelKey != "" {
+				labels = []labelPair{{g.LabelKey, g.LabelValue}}
+			}
+			f.ser = append(f.ser, series{labels: labels, value: g.Value})
+		}
+	}
 	return fs.write(w)
 }
 

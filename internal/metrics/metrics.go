@@ -172,6 +172,8 @@ func mapHistogram(name string) (string, []labelPair) {
 		return Namespace + "_http_request_ns", []labelPair{{"endpoint", sanitize(parts[2])}}
 	case len(parts) == 3 && parts[1] == "accum" && parts[2] == "occupancy":
 		return Namespace + "_join_" + sanitize(parts[0]) + "_accum_occupancy", nil
+	case name == "plan.error.log2":
+		return Namespace + "_plan_error_log2", nil
 	}
 	return Namespace + "_" + sanitize(name), nil
 }
@@ -206,6 +208,10 @@ func helpFor(name string) string {
 		return "Join requests rejected by admission control (queue full or wait deadline)."
 	case name == Namespace+"_http_request_ns":
 		return "HTTP request latency per endpoint in nanoseconds."
+	case name == Namespace+"_plan_error_log2":
+		return "Planner cost error per integrated join: milli-log2 of measured over estimated cost."
+	case strings.HasPrefix(name, Namespace+"_slo_"):
+		return "Service-level objective gauge computed over the rolling SLO window."
 	case strings.HasPrefix(name, Namespace+"_join_"):
 		return "Join execution counter (see DESIGN.md §10 naming scheme)."
 	case strings.HasPrefix(name, Namespace+"_query_"):

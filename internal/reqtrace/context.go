@@ -1,0 +1,19 @@
+package reqtrace
+
+import "context"
+
+// ctxKey is the private context key for the active span.
+type ctxKey struct{}
+
+// NewContext returns a context carrying s. Storing a nil span is fine —
+// FromContext then returns nil and the disabled path stays uniform.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil when the context
+// carries none (the disabled span).
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

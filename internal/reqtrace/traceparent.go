@@ -1,0 +1,57 @@
+package reqtrace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceparentHeader is the propagation header textjoind parses on the
+// way in and emits on the way out, in the W3C trace-context shape:
+//
+//	00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+//
+// so a future shard coordinator can stitch cross-node traces by ID.
+const TraceparentHeader = "Traceparent"
+
+// FormatTraceparent renders a traceparent value for the given IDs with
+// the sampled flag set.
+func FormatTraceparent(id TraceID, span SpanID) string {
+	return "00-" + id.String() + "-" + span.String() + "-01"
+}
+
+// ParseTraceparent parses a traceparent value. Only version 00 is
+// decoded; the flags octet is validated as hex but otherwise ignored
+// (this server records every request it admits).
+func ParseTraceparent(v string) (TraceID, SpanID, error) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 {
+		return TraceID{}, 0, fmt.Errorf("reqtrace: traceparent %q: want 4 dash-separated fields", v)
+	}
+	if parts[0] != "00" {
+		return TraceID{}, 0, fmt.Errorf("reqtrace: traceparent version %q unsupported", parts[0])
+	}
+	id, err := ParseTraceID(parts[1])
+	if err != nil {
+		return TraceID{}, 0, err
+	}
+	span, err := ParseSpanID(parts[2])
+	if err != nil {
+		return TraceID{}, 0, err
+	}
+	if len(parts[3]) != 2 || !isHex(parts[3]) {
+		return TraceID{}, 0, fmt.Errorf("reqtrace: traceparent flags %q: want 2 hex digits", parts[3])
+	}
+	return id, span, nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -53,8 +53,10 @@ import (
 	"textjoin/internal/metrics"
 	"textjoin/internal/query"
 	"textjoin/internal/relation"
+	"textjoin/internal/reqtrace"
 	"textjoin/internal/signature"
 	"textjoin/internal/simulate"
+	"textjoin/internal/slo"
 	"textjoin/internal/stats"
 	"textjoin/internal/telemetry"
 	"textjoin/internal/termmap"
@@ -219,8 +221,11 @@ func TelemetrySinkFor(mode string) (TelemetrySink, error) { return telemetry.Sin
 type MetricsExporter = metrics.Exporter
 
 // NewMetricsExporter creates a /metrics handler over a collector (nil is
-// allowed and serves an empty exposition).
-func NewMetricsExporter(t *Telemetry) *MetricsExporter { return metrics.NewExporter(t) }
+// allowed and serves an empty exposition). Options extend the scrape —
+// WithSLOGauges adds the SLO engine's families.
+func NewMetricsExporter(t *Telemetry, opts ...MetricsExporterOption) *MetricsExporter {
+	return metrics.NewExporter(t, opts...)
+}
 
 // EncodeMetrics renders one snapshot as Prometheus exposition text, with
 // the stable textjoin_* naming scheme (see DESIGN.md §10).
@@ -230,6 +235,62 @@ func EncodeMetrics(w io.Writer, s *TelemetrySnapshot) error { return metrics.Enc
 // telemetry entry per line); the since query parameter tails entries
 // with larger sequence numbers.
 func TraceStreamHandler(t *Telemetry) http.Handler { return metrics.TraceHandler(t) }
+
+// Request tracing and SLO layer.
+type (
+	// RequestTracer mints request-scoped traces with seeded-deterministic
+	// IDs. A nil *RequestTracer disables tracing (nil spans, no-ops).
+	RequestTracer = reqtrace.Tracer
+	// RequestSpan is one timed operation in a request's trace tree.
+	// Thread it through Options.Trace to hang the join phases under it.
+	RequestSpan = reqtrace.Span
+	// RequestTraceData is the wire form of one finished request trace.
+	RequestTraceData = reqtrace.TraceData
+	// FlightRecorder keeps the N slowest and N most recent finished
+	// request traces for /debug/requests.
+	FlightRecorder = reqtrace.Recorder
+	// SLOEngine evaluates availability and latency objectives over
+	// rolling windows of telemetry snapshots.
+	SLOEngine = slo.Engine
+	// SLOObjective is one availability or latency objective.
+	SLOObjective = slo.Objective
+	// MetricsExporterOption configures a MetricsExporter.
+	MetricsExporterOption = metrics.ExporterOption
+)
+
+// DefaultSLOWindow is the default rolling window for SLO objectives.
+const DefaultSLOWindow = slo.DefaultWindow
+
+// NewRequestTracer creates a tracer whose IDs derive from seed and
+// whose timestamps come from the wall clock — the serving-path
+// constructor. Tests wanting byte-stable traces use reqtrace.NewTracer
+// with an injected clock instead.
+func NewRequestTracer(seed uint64) *RequestTracer {
+	return reqtrace.NewTracer(seed, time.Now)
+}
+
+// NewFlightRecorder creates a recorder keeping up to n slowest and n
+// most recent traces.
+func NewFlightRecorder(n int) *FlightRecorder { return reqtrace.NewRecorder(n) }
+
+// FlightRecorderHandler serves a recorder under prefix: an HTML+JSON
+// listing at the prefix and one trace's tree at prefix+"/{traceID}".
+func FlightRecorderHandler(rec *FlightRecorder, prefix string) http.Handler {
+	return reqtrace.Handler(rec, prefix)
+}
+
+// NewSLOEngine creates an SLO engine over a collector, evaluating the
+// objectives over a rolling window against the wall clock. Export its
+// gauges by constructing the exporter with WithSLOGauges.
+func NewSLOEngine(t *Telemetry, window time.Duration, objectives []SLOObjective) (*SLOEngine, error) {
+	return slo.New(t, time.Now, window, objectives)
+}
+
+// WithSLOGauges injects an SLO engine's textjoin_slo_* gauge families
+// into every scrape of a MetricsExporter.
+func WithSLOGauges(e *SLOEngine) MetricsExporterOption {
+	return metrics.WithExtraGauges(e.Gauges)
+}
 
 // ParseAlgorithm maps "hhnl", "hvnl", "vvm" or "lsh" to an Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
