@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json bench-prefilter bench-lsh bench-load loadgen-smoke slo-smoke lint lint-report
+.PHONY: build test verify bench bench-smoke race trace-smoke obs-smoke bench-json bench-prefilter bench-lsh bench-load loadgen-smoke slo-smoke lint lint-fast lint-report
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,10 @@ test: build
 # verify is the CI gate for the concurrent join paths: vet everything,
 # run the in-repo static-analysis suite (cmd/lintcheck: package-DAG,
 # map-iteration determinism, wall-clock hygiene, nil-receiver guards,
-# mutex hygiene — fails on any finding or unexplained lint:ignore),
-# then race-check the packages with goroutines (owner-sharded parallel
+# mutex hygiene, plus the CFG-based resource-leak, dropped-error and
+# lock-order analyzers — fails on any finding or unexplained
+# lint:ignore), then race-check the packages with goroutines (the
+# analysis engine's CFG/dataflow tests included, owner-sharded parallel
 # VVM and HVNL, parallel HHNL), the accumulator layer they share, the
 # entry cache the parallel HVNL coordinator drives, the telemetry
 # collector they all report to, the request tracer and flight recorder
@@ -26,13 +28,20 @@ test: build
 verify: obs-smoke loadgen-smoke slo-smoke bench-json bench-prefilter bench-lsh
 	$(GO) vet ./...
 	$(GO) run ./cmd/lintcheck
-	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/... ./internal/telemetry/... ./internal/metrics/... ./internal/reqtrace/... ./internal/slo/... ./cmd/textjoind/...
+	$(GO) test -race ./internal/core/... ./internal/accum/... ./internal/entrycache/... ./internal/telemetry/... ./internal/metrics/... ./internal/reqtrace/... ./internal/slo/... ./internal/analysis/... ./cmd/textjoind/...
 
 # lint runs the repo's own static-analysis suite over the whole module:
-# six analyzers driven by the checked-in policy table in
-# internal/analysis/policy.go (see DESIGN.md §11). Exit 1 on findings.
+# nine analyzers driven by the checked-in policy table in
+# internal/analysis/policy.go (see DESIGN.md §11 and §16). Exit 1 on
+# findings.
 lint:
 	$(GO) run ./cmd/lintcheck
+
+# lint-fast runs only the syntactic analyzers (no type checking) — the
+# edit-loop variant: a few hundred milliseconds instead of a full
+# type-checked pass.
+lint-fast:
+	$(GO) run ./cmd/lintcheck -fast
 
 # lint-report prints the review-friendly view: every rule with its doc
 # line and finding count, the suppression tally, then each finding.

@@ -137,8 +137,10 @@ func writeCalibration(report *Report, path string) error {
 	if err != nil {
 		return err
 	}
+	// Backstop release for the error paths; the success path checks the
+	// explicit Close below and the second Close is a no-op.
+	defer f.Close()
 	if err := report.Calibration.writeReport(f); err != nil {
-		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {

@@ -1,24 +1,28 @@
 // Command lintcheck runs the repo's static-analysis suite
 // (internal/analysis) over the whole module and exits non-zero on any
-// finding. It is the `make lint` gate: the six analyzers encode the
+// finding. It is the `make lint` gate: the nine analyzers encode the
 // project's architectural promises — the DESIGN.md package DAG
 // (importlayer), deterministic result production (mapdeterminism),
 // byte-stable baselines (wallclock), the nil-safe telemetry contract
-// (nilrecv), scrape-lock-free locking (mutexhygiene) and leak-free
-// request tracing (spanhygiene) — plus the lintdirective hygiene rule
-// that keeps every //lint:ignore explained and load-bearing.
+// (nilrecv), scrape-lock-free locking (mutexhygiene), leak-free
+// request tracing (spanhygiene), released resources (resourceleak),
+// consulted errors (errdrop) and a cycle-free lock-acquisition order
+// (lockorder) — plus the lintdirective hygiene rule that keeps every
+// //lint:ignore explained and load-bearing.
 //
 // Usage:
 //
-//	lintcheck [-root dir] [-rule r1,r2] [-pkg p1,p2] [-json] [-report] [-q]
+//	lintcheck [-root dir] [-rule r1,r2] [-pkg p1,p2] [-fast] [-json] [-report] [-q]
 //
 // With no flags it finds the module root by walking up from the
 // working directory to go.mod and prints go-vet-style findings, one
 // per line. -rule and -pkg narrow the run (stale-ignore detection is
-// skipped on narrowed runs). -json emits the machine-readable report
-// validated by analysis.ValidateReport. -report prints a human
-// summary: every rule with its doc line and finding count, plus the
-// suppression tally.
+// skipped on narrowed runs). -fast runs only the syntactic analyzers,
+// skipping type checking entirely — the `make lint-fast` edit-loop
+// gate. -json emits the machine-readable report validated by
+// analysis.ValidateReport. -report prints a human summary: every rule
+// that ran with its finding count, files visited, pre-suppression
+// diagnostics and wall time, plus the suppression tally.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load/type-check error.
 package main
@@ -31,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"textjoin/internal/analysis"
 )
@@ -40,15 +45,16 @@ func main() {
 		root    = flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
 		rules   = flag.String("rule", "", "comma-separated rule names to run (default: all)")
 		pkgs    = flag.String("pkg", "", "comma-separated module-relative package paths (prefixes) to check")
+		fast    = flag.Bool("fast", false, "run only the syntactic analyzers, skipping type checking")
 		asJSON  = flag.Bool("json", false, "emit the machine-readable report")
 		summary = flag.Bool("report", false, "print a per-rule summary instead of one line per finding")
 		quiet   = flag.Bool("q", false, "suppress the trailing ok/finding-count line")
 	)
 	flag.Parse()
-	os.Exit(run(*root, *rules, *pkgs, *asJSON, *summary, *quiet, os.Stdout, os.Stderr))
+	os.Exit(run(*root, *rules, *pkgs, *fast, *asJSON, *summary, *quiet, os.Stdout, os.Stderr))
 }
 
-func run(root, rules, pkgs string, asJSON, summary, quiet bool, stdout, stderr io.Writer) int {
+func run(root, rules, pkgs string, fast, asJSON, summary, quiet bool, stdout, stderr io.Writer) int {
 	if root == "" {
 		r, err := findRoot()
 		if err != nil {
@@ -57,7 +63,15 @@ func run(root, rules, pkgs string, asJSON, summary, quiet bool, stdout, stderr i
 		}
 		root = r
 	}
-	opts := analysis.RunOptions{Rules: splitList(rules), Packages: splitList(pkgs)}
+	ruleList := splitList(rules)
+	if fast {
+		if len(ruleList) > 0 {
+			fmt.Fprintln(stderr, "lintcheck: -fast and -rule are mutually exclusive")
+			return 2
+		}
+		ruleList = syntacticRules()
+	}
+	opts := analysis.RunOptions{Rules: ruleList, Packages: splitList(pkgs), Now: time.Now}
 	report, err := analysis.Run(root, analysis.DefaultPolicy(), opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "lintcheck: %v\n", err)
@@ -94,17 +108,37 @@ func run(root, rules, pkgs string, asJSON, summary, quiet bool, stdout, stderr i
 	return 0
 }
 
-// printSummary renders the -report mode: each rule with its doc and
-// finding count, then the suppression tally — the review-friendly view
-// for deciding which findings to fix and which to justify.
+// syntacticRules names the analyzers that run without type
+// information; selecting only these makes the loader skip the type
+// checker, which is the entire point of `lintcheck -fast`.
+func syntacticRules() []string {
+	var out []string
+	for _, a := range analysis.Analyzers(analysis.DefaultPolicy()) {
+		if !a.NeedsTypes() {
+			out = append(out, a.Name())
+		}
+	}
+	return out
+}
+
+// printSummary renders the -report mode: each rule that ran with its
+// finding count, files visited, pre-suppression diagnostics and wall
+// time, then the suppression tally — the review-friendly view for
+// deciding which findings to fix and which to justify.
 func printSummary(w io.Writer, report *analysis.Report) {
 	counts := make(map[string]int)
 	for _, d := range report.Diagnostics {
 		counts[d.Rule]++
 	}
-	fmt.Fprintf(w, "module %s: %d packages analyzed\n", report.Module, len(report.Packages))
+	docs := make(map[string]string)
 	for _, a := range analysis.Analyzers(analysis.DefaultPolicy()) {
-		fmt.Fprintf(w, "  %-16s %3d finding(s)  %s\n", a.Name(), counts[a.Name()], a.Doc())
+		docs[a.Name()] = a.Doc()
+	}
+	fmt.Fprintf(w, "module %s: %d packages analyzed\n", report.Module, len(report.Packages))
+	for _, st := range report.RuleStats {
+		fmt.Fprintf(w, "  %-16s %3d finding(s)  %4d file(s)  %3d raw  %8s  %s\n",
+			st.Rule, counts[st.Rule], st.Files, st.Diagnostics,
+			time.Duration(st.WallNS).Round(10*time.Microsecond), docs[st.Rule])
 	}
 	fmt.Fprintf(w, "  %-16s %3d finding(s)  malformed, unknown-rule or stale lint:ignore directives\n",
 		analysis.RuleLintDirective, counts[analysis.RuleLintDirective])

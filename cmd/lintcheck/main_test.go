@@ -32,7 +32,7 @@ func repoRoot(t *testing.T) string {
 // actual driver: the checked-in module must lint clean, exit 0.
 func TestLiveRepoClean(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run(repoRoot(t), "", "", false, false, false, &stdout, &stderr)
+	code := run(repoRoot(t), "", "", false, false, false, false, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
 	}
@@ -75,7 +75,7 @@ func Stamp() int64 { return time.Now().UnixNano() }
 func TestInjectedViolationFails(t *testing.T) {
 	root := writeInjected(t)
 	var stdout, stderr bytes.Buffer
-	code := run(root, "wallclock", "", false, false, false, &stdout, &stderr)
+	code := run(root, "wallclock", "", false, false, false, false, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
 	}
@@ -87,7 +87,7 @@ func TestInjectedViolationFails(t *testing.T) {
 	// the import-layer policy table.
 	stdout.Reset()
 	stderr.Reset()
-	code = run(root, "", "", false, false, false, &stdout, &stderr)
+	code = run(root, "", "", false, false, false, false, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("full run exit = %d, want 1; stderr: %s", code, stderr.String())
 	}
@@ -100,7 +100,7 @@ func TestInjectedViolationFails(t *testing.T) {
 // schema, on both a clean run and a failing run.
 func TestJSONSchema(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run(repoRoot(t), "", "", true, false, false, &stdout, &stderr)
+	code := run(repoRoot(t), "", "", false, true, false, false, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
 	}
@@ -109,7 +109,7 @@ func TestJSONSchema(t *testing.T) {
 	}
 
 	stdout.Reset()
-	code = run(writeInjected(t), "wallclock", "", true, false, false, &stdout, &stderr)
+	code = run(writeInjected(t), "wallclock", "", false, true, false, false, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("injected exit = %d, want 1", code)
 	}
@@ -122,7 +122,7 @@ func TestJSONSchema(t *testing.T) {
 // finding count.
 func TestReportMode(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run(writeInjected(t), "wallclock", "", false, true, false, &stdout, &stderr)
+	code := run(writeInjected(t), "wallclock", "", false, false, true, false, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
 	}
@@ -134,17 +134,169 @@ func TestReportMode(t *testing.T) {
 	}
 }
 
+// writeModule materializes a temp module from a file map.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestInjectedPathSensitiveViolationsFail is the negative test for the
+// CFG-based analyzers: for each rule, a temp module with one deliberate
+// violation must make the driver exit 1 and print the finding.
+func TestInjectedPathSensitiveViolationsFail(t *testing.T) {
+	cases := []struct {
+		rule string
+		rel  string
+		src  string
+		want string
+	}{
+		{
+			rule: "resourceleak",
+			rel:  "internal/badpkg/bad.go",
+			src: `// Package badpkg leaks a listener on purpose.
+package badpkg
+
+import "net"
+
+// Leak abandons the listener on the success path.
+func Leak() error {
+	ln, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return err
+	}
+	ln.Addr()
+	return nil
+}
+`,
+			want: "never releases",
+		},
+		{
+			rule: "errdrop",
+			rel:  "cmd/bad/main.go",
+			src: `// Command bad drops an error on purpose.
+package main
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func main() {
+	_ = work()
+}
+`,
+			want: "assigns an error to _",
+		},
+		{
+			rule: "lockorder",
+			rel:  "internal/badpkg/bad.go",
+			src: `// Package badpkg orders its locks inconsistently on purpose.
+package badpkg
+
+import "sync"
+
+// S carries two mutexes acquired in both orders below.
+type S struct {
+	a, b sync.Mutex
+}
+
+// AB nests a before b.
+func (s *S) AB() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// BA nests b before a.
+func (s *S) BA() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`,
+			want: "lock order cycle",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			root := writeModule(t, map[string]string{
+				"go.mod": "module injected\n\ngo 1.22\n",
+				tc.rel:   tc.src,
+			})
+			var stdout, stderr bytes.Buffer
+			code := run(root, tc.rule, "", false, false, false, false, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1; stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+			}
+			if !strings.Contains(stdout.String(), tc.want) {
+				t.Errorf("finding %q not printed:\n%s", tc.want, stdout.String())
+			}
+		})
+	}
+}
+
+// TestFastMode runs only the syntactic analyzers: the live repo stays
+// clean, and combining -fast with -rule is a usage error.
+func TestFastMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(repoRoot(t), "", "", true, false, false, false, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "lintcheck: ok") {
+		t.Errorf("missing ok line: %s", stdout.String())
+	}
+
+	stderr.Reset()
+	if code := run(repoRoot(t), "wallclock", "", true, false, false, false, &stdout, &stderr); code != 2 {
+		t.Errorf("-fast with -rule exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr = %s", stderr.String())
+	}
+}
+
+// TestReportStats pins the per-rule stats columns of -report on a full
+// run over the live repo: every rule shows its files-visited count.
+func TestReportStats(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(repoRoot(t), "", "", false, false, true, false, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s\nstdout: %s", code, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, rule := range []string{"resourceleak", "errdrop", "lockorder", "importlayer"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("report missing rule %s:\n%s", rule, out)
+		}
+	}
+	if !strings.Contains(out, "file(s)") {
+		t.Errorf("report missing files column:\n%s", out)
+	}
+}
+
 // TestUsageErrors exit with status 2, distinct from findings.
 func TestUsageErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run(repoRoot(t), "nosuchrule", "", false, false, false, &stdout, &stderr); code != 2 {
+	if code := run(repoRoot(t), "nosuchrule", "", false, false, false, false, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown rule exit = %d, want 2", code)
 	}
 	if !strings.Contains(stderr.String(), "unknown rule") {
 		t.Errorf("stderr = %s", stderr.String())
 	}
 	stderr.Reset()
-	if code := run(t.TempDir(), "", "", false, false, false, &stdout, &stderr); code != 2 {
+	if code := run(t.TempDir(), "", "", false, false, false, false, &stdout, &stderr); code != 2 {
 		t.Errorf("rootless dir exit = %d, want 2", code)
 	}
 }

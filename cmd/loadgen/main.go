@@ -205,7 +205,9 @@ func waitReady(base string, budget time.Duration) error {
 	for {
 		resp, err := client.Get(base + "/healthz")
 		if err == nil {
+			//lint:ignore errdrop readiness probe: a drain error just means another retry
 			io.Copy(io.Discard, resp.Body)
+			//lint:ignore errdrop readiness probe: a close error just means another retry
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
 				return nil
@@ -256,7 +258,14 @@ arrivals:
 				resp, err := client.Get(url)
 				var body []byte
 				if resp != nil {
-					body, _ = io.ReadAll(resp.Body)
+					// A truncated body must classify as a transport error,
+					// not a success with a bogus latency sample.
+					var readErr error
+					body, readErr = io.ReadAll(resp.Body)
+					if err == nil {
+						err = readErr
+					}
+					//lint:ignore errdrop body fully read above; Close carries no further signal
 					resp.Body.Close()
 				}
 				// The client clock stops only after the body is fully

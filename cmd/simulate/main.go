@@ -167,8 +167,10 @@ func writeProm(path string, tel *telemetry.Collector) error {
 	if err != nil {
 		return err
 	}
+	// Backstop release for the error path; the success path checks the
+	// explicit Close below and the second Close is a no-op.
+	defer f.Close()
 	if err := metrics.Encode(f, tel.Snapshot()); err != nil {
-		f.Close()
 		return err
 	}
 	return f.Close()

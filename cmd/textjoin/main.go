@@ -101,8 +101,10 @@ func saveSnapshot(d *iosim.Disk, path string) error {
 	if err != nil {
 		return err
 	}
+	// Backstop release for the error path; the success path checks the
+	// explicit Close below and the second Close is a no-op.
+	defer f.Close()
 	if _, err := d.WriteTo(f); err != nil {
-		f.Close()
 		return err
 	}
 	return f.Close()

@@ -464,6 +464,7 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		results, stats, _, err = textjoin.JoinIntegrated(in, opts)
 		resp.Integrated = true
 	default:
+		//lint:ignore errdrop algName was validated with ParseAlgorithm before admission
 		alg, _ := textjoin.ParseAlgorithm(algName)
 		switch {
 		case workers > 1 && alg == textjoin.HHNL:
@@ -595,6 +596,7 @@ func resultHash(results []textjoin.Result) string {
 	var buf [8]byte
 	put32 := func(v uint32) {
 		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		//lint:ignore errdrop hash.Hash Write is documented to never return an error
 		h.Write(buf[:4])
 	}
 	for _, res := range results {
@@ -606,6 +608,7 @@ func resultHash(results []textjoin.Result) string {
 			for i := 0; i < 8; i++ {
 				buf[i] = byte(bits >> (8 * i))
 			}
+			//lint:ignore errdrop hash.Hash Write is documented to never return an error
 			h.Write(buf[:8])
 		}
 	}
@@ -659,6 +662,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	//lint:ignore errdrop an encode error here means the client hung up; the handler has no recourse
 	enc.Encode(v)
 }
 

@@ -121,6 +121,7 @@ func runSmoke(cfg config, out io.Writer) error {
 			if err != nil {
 				return err
 			}
+			//lint:ignore errdrop only the status code matters to this step
 			resp.Body.Close()
 			if resp.StatusCode != http.StatusBadRequest {
 				return fmt.Errorf("alg=bogus: want 400, got %d", resp.StatusCode)
@@ -300,6 +301,7 @@ func runSmoke(cfg config, out io.Writer) error {
 	}
 	for _, step := range steps {
 		if err := step.run(); err != nil {
+			//lint:ignore errdrop a shutdown error must not mask the failing step's error
 			hs.Close()
 			return fmt.Errorf("%s: %w", step.name, err)
 		}

@@ -31,6 +31,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: a rule violation at a position. File is
@@ -115,6 +116,26 @@ type RunOptions struct {
 	// Packages selects packages whose module-relative path equals one
 	// of the entries or sits beneath it; empty means the whole module.
 	Packages []string
+	// Now, when set, is sampled around each analyzer's Check to fill
+	// RuleStat.WallNS. The clock is injected by the driver so this
+	// package itself stays free of wall-clock reads (its own wallclock
+	// rule applies here too); a nil Now leaves every WallNS zero.
+	Now func() time.Time
+}
+
+// RuleStat aggregates one analyzer's work across a run, the numbers
+// behind `lintcheck -report`.
+type RuleStat struct {
+	Rule string `json:"rule"`
+	// Files counts source files the analyzer visited (package files of
+	// every package it ran over).
+	Files int `json:"files"`
+	// Diagnostics counts pre-suppression findings, so a rule that fires
+	// only into lint:ignore directives still shows its work.
+	Diagnostics int `json:"diagnostics"`
+	// WallNS is the summed wall-clock nanoseconds spent in Check, zero
+	// when the driver injected no clock.
+	WallNS int64 `json:"wall_ns"`
 }
 
 // Report is the result of one engine run; it is the schema behind
@@ -126,6 +147,9 @@ type Report struct {
 	Diagnostics []Diagnostic `json:"diagnostics"`
 	// Suppressed counts findings silenced by lint:ignore directives.
 	Suppressed int `json:"suppressed"`
+	// RuleStats carries per-analyzer file/diagnostic counts and wall
+	// time, ordered by rule name.
+	RuleStats []RuleStat `json:"rule_stats"`
 }
 
 // Run loads every package of the module rooted at root, runs the
@@ -163,8 +187,10 @@ func Run(root string, pol *Policy, opts RunOptions) (*Report, error) {
 		Packages:    []string{},
 		Diagnostics: []Diagnostic{},
 	}
+	stats := make(map[string]*RuleStat, len(selected))
 	for _, a := range selected {
 		report.Rules = append(report.Rules, a.Name())
+		stats[a.Name()] = &RuleStat{Rule: a.Name()}
 	}
 	sort.Strings(report.Rules)
 
@@ -187,7 +213,18 @@ func Run(root string, pol *Policy, opts RunOptions) (*Report, error) {
 
 		var diags []Diagnostic
 		for _, a := range selected {
-			diags = append(diags, a.Check(pkg)...)
+			st := stats[a.Name()]
+			st.Files += len(pkg.Files)
+			var begin time.Time
+			if opts.Now != nil {
+				begin = opts.Now()
+			}
+			found := a.Check(pkg)
+			if opts.Now != nil {
+				st.WallNS += opts.Now().Sub(begin).Nanoseconds()
+			}
+			st.Diagnostics += len(found)
+			diags = append(diags, found...)
 		}
 		ignores, malformed := collectIgnores(pkg, knownRules(all))
 		kept, suppressed := applyIgnores(diags, ignores)
@@ -200,6 +237,10 @@ func Run(root string, pol *Policy, opts RunOptions) (*Report, error) {
 	}
 	sort.Strings(report.Packages)
 	sortDiagnostics(report.Diagnostics)
+	report.RuleStats = make([]RuleStat, 0, len(stats))
+	for _, name := range report.Rules {
+		report.RuleStats = append(report.RuleStats, *stats[name])
+	}
 	return report, nil
 }
 

@@ -22,10 +22,13 @@ func fixturePolicy() *Policy {
 		ImportLayer: map[string][]string{
 			"internal/clock":     {},
 			"internal/core":      {},
+			"internal/errs":      {},
 			"internal/guards":    {},
 			"internal/iosim":     {},
 			"internal/locks":     {"internal/iosim"},
+			"internal/order":     {},
 			"internal/reqtrace":  {},
+			"internal/resources": {"internal/iosim"},
 			"internal/spans":     {"internal/reqtrace"},
 			"internal/telemetry": {},
 		},
@@ -37,6 +40,13 @@ func fixturePolicy() *Policy {
 		MutexJoinScope:  []string{"cmd/served"},
 		SpanScope:       []string{"internal/spans"},
 		SpanPackages:    []string{"internal/reqtrace"},
+		Resources: []ResourceRule{
+			{Pkg: "internal/iosim", Call: "Open", Release: "Close"},
+			{Pkg: "internal/iosim", Call: "OpenPair", Release: "Close"},
+		},
+		ErrDrop:       []string{"internal/errs"},
+		ErrDropExempt: []string{"fmt"},
+		LockOrder:     []string{"internal/order"},
 	}
 }
 
@@ -57,9 +67,10 @@ func layersPolicy() *Policy {
 func TestGoldenModule(t *testing.T) {
 	report := runGolden(t, "testdata/module", fixturePolicy(), RunOptions{})
 	// One used suppression per analyzer fixture: mapdeterminism,
-	// wallclock, nilrecv, mutexhygiene, spanhygiene.
-	if report.Suppressed != 5 {
-		t.Errorf("suppressed = %d, want 5", report.Suppressed)
+	// wallclock, nilrecv, mutexhygiene, spanhygiene, resourceleak,
+	// errdrop, lockorder.
+	if report.Suppressed != 8 {
+		t.Errorf("suppressed = %d, want 8", report.Suppressed)
 	}
 }
 

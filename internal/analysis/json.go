@@ -76,5 +76,18 @@ func ValidateReport(data []byte) error {
 			return fmt.Errorf("analysis: diagnostics not in position order at index %d", i)
 		}
 	}
+	// rule_stats is optional (older reports omit it) but when present it
+	// must mirror the rules list and stay non-negative.
+	for i, st := range r.RuleStats {
+		if !ranSet[st.Rule] {
+			return fmt.Errorf("analysis: rule_stats entry %d names rule %q which did not run", i, st.Rule)
+		}
+		if i > 0 && r.RuleStats[i-1].Rule >= st.Rule {
+			return errors.New("analysis: rule_stats not sorted and unique by rule")
+		}
+		if st.Files < 0 || st.Diagnostics < 0 || st.WallNS < 0 {
+			return fmt.Errorf("analysis: rule_stats entry %d has negative counters", i)
+		}
+	}
 	return nil
 }

@@ -1,0 +1,495 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockOrder builds a lock-acquisition order graph from the CFG's
+// held-lock sets and reports cycles — the static shadow of a deadlock.
+// The serving layer is the motivating customer: textjoind holds the
+// admission semaphore's mutex, the flight recorder's mutex and the SLO
+// engine's mutex in nested critical sections, and two call paths that
+// nest the same pair in opposite orders can deadlock under exactly the
+// concurrent load the loadgen harness generates.
+//
+// Per function the analyzer runs a must-analysis over the CFG: a lock
+// key is in the held set only when it is held on EVERY path reaching a
+// node (join = intersection), so a conditional acquire never poisons
+// order edges downstream of the merge. Deferred unlocks keep the lock
+// held to scope exit, matching their runtime meaning. Lock keys name
+// the lock's declaration site, not its dynamic identity:
+// "pkg.Type.field" for a mutex field reached through any receiver,
+// "pkg.var" for a package-level mutex, "pkg.func.name" for a local.
+//
+// Acquiring key B while holding key A adds edge A→B with the acquire
+// site as witness. A call to a same-package function g while holding A
+// adds A→k for every lock k that g transitively acquires (summaries
+// computed to a fixpoint over the package's call graph — the import DAG
+// is acyclic, checked by importlayer, so a cross-package cycle cannot
+// close without a callback and per-package analysis is sound for this
+// module). A cycle in the resulting graph is reported once, with every
+// edge's witness path printed; acquiring a key already in the held set
+// (directly or through a call chain) is reported as a recursive
+// acquisition — sync.Mutex self-deadlock.
+type lockOrder struct{ pol *Policy }
+
+func (a *lockOrder) Name() string { return "lockorder" }
+func (a *lockOrder) Doc() string {
+	return "the module-wide lock-acquisition graph is acyclic: no two paths nest the same mutexes in opposite orders, no path re-acquires a held mutex"
+}
+func (a *lockOrder) NeedsTypes() bool { return true }
+
+const loHeld fact = 1
+
+// loEvent is one lock acquisition observed with its pre-acquire held
+// set.
+type loEvent struct {
+	held []string
+	key  string
+	pos  token.Pos
+	fn   string
+}
+
+// loCall is one same-package call site observed with its held set.
+type loCall struct {
+	held   []string
+	callee *types.Func
+	pos    token.Pos
+	fn     string
+}
+
+// loEdge is one order-graph edge with its first witness.
+type loEdge struct {
+	from, to string
+	pos      token.Pos
+	witness  string
+}
+
+func (a *lockOrder) Check(p *Package) []Diagnostic {
+	if p.Info == nil || !matchScope(a.pol.LockOrder, p.Rel) {
+		return nil
+	}
+	var (
+		events []loEvent
+		calls  []loCall
+		diags  []Diagnostic
+	)
+	// direct maps each function to the lock keys it acquires directly,
+	// for the transitive-acquire summaries.
+	direct := make(map[*types.Func]map[string]loEvent)
+	callees := make(map[*types.Func][]loCall)
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnObj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			for si, scope := range functionScopes(fd.Body) {
+				name := fd.Name.Name
+				if si > 0 {
+					name = fd.Name.Name + " literal"
+				}
+				ev, cs := a.scanScope(p, name, scope)
+				events = append(events, ev...)
+				calls = append(calls, cs...)
+				// Only the named function's own body feeds call-graph
+				// summaries; literals run on their own goroutine/schedule.
+				if si == 0 && fnObj != nil {
+					m := direct[fnObj]
+					if m == nil {
+						m = make(map[string]loEvent)
+						direct[fnObj] = m
+					}
+					for _, e := range ev {
+						if _, ok := m[e.key]; !ok {
+							m[e.key] = e
+						}
+					}
+					callees[fnObj] = append(callees[fnObj], cs...)
+				}
+			}
+		}
+	}
+	if len(events) == 0 {
+		return nil
+	}
+
+	// Transitive acquire summaries to a fixpoint.
+	trans := make(map[*types.Func]map[string]loEvent)
+	for fn, m := range direct {
+		cp := make(map[string]loEvent, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		trans[fn] = cp
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			for _, c := range cs {
+				for k, via := range trans[c.callee] {
+					if _, ok := trans[fn][k]; !ok {
+						if trans[fn] == nil {
+							trans[fn] = make(map[string]loEvent)
+						}
+						trans[fn][k] = via
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Build order edges; first witness wins (scan order is file order,
+	// so it is deterministic).
+	edges := make(map[[2]string]*loEdge)
+	addEdge := func(from, to string, pos token.Pos, witness string) {
+		if _, ok := edges[[2]string{from, to}]; !ok {
+			edges[[2]string{from, to}] = &loEdge{from: from, to: to, pos: pos, witness: witness}
+		}
+	}
+	for _, e := range events {
+		for _, h := range e.held {
+			if h == e.key {
+				diags = append(diags, p.diag(a.Name(), e.pos,
+					"%s acquires %s while already holding it; a second Lock on a held sync mutex deadlocks", e.fn, e.key))
+				continue
+			}
+			addEdge(h, e.key, e.pos, fmt.Sprintf("%s acquires %s while holding %s (%s)",
+				e.fn, e.key, h, posString(p, e.pos)))
+		}
+	}
+	for _, c := range calls {
+		if len(c.held) == 0 {
+			continue
+		}
+		for k, via := range trans[c.callee] {
+			for _, h := range c.held {
+				if h == k {
+					diags = append(diags, p.diag(a.Name(), c.pos,
+						"%s calls %s while holding %s, and %s acquires %s again (%s); recursive acquisition deadlocks",
+						c.fn, c.callee.Name(), h, c.callee.Name(), k, posString(p, via.pos)))
+					continue
+				}
+				addEdge(h, k, c.pos, fmt.Sprintf("%s calls %s while holding %s, and %s acquires %s (%s)",
+					c.fn, c.callee.Name(), h, c.callee.Name(), k, posString(p, via.pos)))
+			}
+		}
+	}
+
+	diags = append(diags, a.reportCycles(p, edges)...)
+	return diags
+}
+
+// scanScope runs the held-set dataflow over one scope and returns the
+// lock events and same-package call sites it observes.
+func (a *lockOrder) scanScope(p *Package, fname string, body *ast.BlockStmt) ([]loEvent, []loCall) {
+	// Quick reject: scopes without any mutex method call need no CFG.
+	found := false
+	inspectScope(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, kind := mutexCallKey(p, fname, call); kind != loNone {
+				found = true
+			}
+		}
+	})
+	if !found {
+		return nil, nil
+	}
+
+	transfer := func(st flowState, n ast.Node) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return // deferred unlocks release at exit; held set unchanged
+		}
+		walkFlowNode(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, kind := mutexCallKey(p, fname, call)
+			switch kind {
+			case loAcquire:
+				st[key] = loHeld
+			case loRelease:
+				delete(st, key)
+			}
+			return true
+		})
+	}
+	fl := &flow{
+		// Must-analysis: held only if held on every path.
+		join: func(x, y fact) fact {
+			if x == y {
+				return x
+			}
+			return 0
+		},
+		transfer: transfer,
+	}
+	g := buildCFG(body)
+	in := fl.forward(g)
+
+	var events []loEvent
+	var calls []loCall
+	fl.scanBlocks(g, in, func(st flowState, n ast.Node, _ *cfgBlock) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return
+		}
+		// Replay node-internal ordering: a node can both acquire and
+		// call, so track the evolving held set while walking.
+		local := st.clone()
+		walkFlowNode(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, kind := mutexCallKey(p, fname, call)
+			switch kind {
+			case loAcquire:
+				events = append(events, loEvent{held: heldKeys(local), key: key, pos: call.Pos(), fn: fname})
+				local[key] = loHeld
+			case loRelease:
+				delete(local, key)
+			case loNone:
+				if fn := samePackageCallee(p, call); fn != nil {
+					calls = append(calls, loCall{held: heldKeys(local), callee: fn, pos: call.Pos(), fn: fname})
+				}
+			}
+			return true
+		})
+	})
+	return events, calls
+}
+
+type loKind int
+
+const (
+	loNone loKind = iota
+	loAcquire
+	loRelease
+)
+
+// mutexCallKey classifies a call as a mutex acquire/release and
+// computes the lock's declaration-site key.
+func mutexCallKey(p *Package, fname string, call *ast.CallExpr) (string, loKind) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", loNone
+	}
+	var kind loKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = loAcquire
+	case "Unlock", "RUnlock":
+		kind = loRelease
+	default:
+		return "", loNone
+	}
+	if !isMutexExpr(p, sel.X) {
+		return "", loNone
+	}
+	key := lockKey(p, fname, sel.X)
+	if key == "" {
+		return "", loNone
+	}
+	return key, kind
+}
+
+// lockKey names a mutex by its declaration site. RWMutex read and
+// write locks share a key: a read lock inside a cycle still deadlocks
+// once a writer queues up.
+func lockKey(p *Package, fname string, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		// receiver.field (possibly nested): key on the owning type.
+		t := p.Info.TypeOf(e.X)
+		if t == nil {
+			return ""
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			pkg := ""
+			if obj.Pkg() != nil {
+				pkg = shortPkg(p, obj.Pkg().Path())
+			}
+			return pkg + "." + obj.Name() + "." + e.Sel.Name
+		}
+		// pkgname.mu: package-level mutex through a selector.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+				return shortPkg(p, pn.Imported().Path()) + "." + e.Sel.Name
+			}
+		}
+		return ""
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			obj = p.Info.Defs[e]
+		}
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		pkg := shortPkg(p, obj.Pkg().Path())
+		if obj.Parent() == obj.Pkg().Scope() {
+			return pkg + "." + obj.Name()
+		}
+		return pkg + "." + fname + "." + obj.Name()
+	}
+	return ""
+}
+
+// shortPkg trims the module prefix so keys and messages read as
+// "internal/slo.Engine.mu" rather than a full import path.
+func shortPkg(p *Package, path string) string {
+	if path == p.Module {
+		return "."
+	}
+	prefix := p.Module + "/"
+	if len(path) > len(prefix) && path[:len(prefix)] == prefix {
+		return path[len(prefix):]
+	}
+	return path
+}
+
+// samePackageCallee resolves a call to a function or method declared in
+// the package under analysis.
+func samePackageCallee(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != p.Path {
+		return nil
+	}
+	return fn
+}
+
+func heldKeys(st flowState) []string {
+	var out []string
+	for k, v := range st {
+		if v != loHeld {
+			continue
+		}
+		if s, ok := k.(string); ok {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func posString(p *Package, pos token.Pos) string {
+	pp := p.Position(pos)
+	return fmt.Sprintf("%s:%d", pp.Filename, pp.Line)
+}
+
+// reportCycles finds cycles in the order graph and reports each once,
+// anchored at the lexicographically-first edge's witness, with every
+// witness in the cycle printed.
+func (a *lockOrder) reportCycles(p *Package, edges map[[2]string]*loEdge) []Diagnostic {
+	adj := make(map[string][]string)
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for k := range adj {
+		sort.Strings(adj[k])
+	}
+	var keys [][2]string
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	reported := make(map[string]bool)
+	var diags []Diagnostic
+	for _, k := range keys {
+		from, to := k[0], k[1]
+		path := findPath(adj, to, from)
+		if path == nil {
+			continue
+		}
+		// path is [to, ..., from]; dropping its closing node leaves the
+		// cycle's node sequence from → to → ... (implicitly back to from).
+		cycle := append([]string{from}, path[:len(path)-1]...)
+		sig := cycleSignature(cycle)
+		if reported[sig] {
+			continue
+		}
+		reported[sig] = true
+
+		var names string
+		for _, n := range cycle {
+			names += n + " → "
+		}
+		names += cycle[0]
+		var witnesses string
+		anchor := edges[k]
+		for i := 0; i < len(cycle); i++ {
+			u, v := cycle[i], cycle[(i+1)%len(cycle)]
+			if e := edges[[2]string{u, v}]; e != nil {
+				witnesses += "; " + e.witness
+			}
+		}
+		diags = append(diags, p.diag(a.Name(), anchor.pos,
+			"lock order cycle %s is a potential deadlock%s", names, witnesses))
+	}
+	return diags
+}
+
+// findPath returns the node sequence from `from`'s successors to `to`
+// inclusive (BFS, deterministic order), or nil.
+func findPath(adj map[string][]string, from, to string) []string {
+	type qn struct {
+		node string
+		path []string
+	}
+	seen := map[string]bool{from: true}
+	work := []qn{{node: from, path: []string{from}}}
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		if cur.node == to {
+			return cur.path
+		}
+		for _, next := range adj[cur.node] {
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			np := append(append([]string{}, cur.path...), next)
+			work = append(work, qn{node: next, path: np})
+		}
+	}
+	return nil
+}
+
+// cycleSignature canonicalizes a cycle's node set for deduplication.
+func cycleSignature(cycle []string) string {
+	s := append([]string{}, cycle...)
+	sort.Strings(s)
+	out := ""
+	for _, n := range s {
+		out += n + "|"
+	}
+	return out
+}

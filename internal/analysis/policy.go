@@ -60,6 +60,40 @@ type Policy struct {
 	// named type outside these packages that wraps one of them in a
 	// struct field (a per-package phase-span wrapper) counts too.
 	SpanPackages []string
+
+	// Resources is the acquire→release pairing table for the CFG-based
+	// resourceleak analyzer: each rule names an acquiring function and
+	// the release method its result owes on every path to exit.
+	Resources []ResourceRule
+
+	// ErrDrop lists the package scopes (prefix semantics; "." is the
+	// module root) in which the errdrop analyzer polices dropped
+	// errors: _-assignments, bare-statement discards, and error values
+	// overwritten or abandoned before being consulted.
+	ErrDrop []string
+
+	// ErrDropExempt lists callee import paths whose returned errors are
+	// vacuous by contract (fmt printers, in-memory buffer and hash
+	// writes) and may be discarded without a directive.
+	ErrDropExempt []string
+
+	// LockOrder lists the package scopes in which lockorder builds the
+	// lock-acquisition order graph and reports cycles and recursive
+	// acquisitions.
+	LockOrder []string
+}
+
+// ResourceRule pairs an acquiring call with the release method its
+// result must see on every path. Pkg is "." for the module root, a
+// module-relative path for internal packages, or a stdlib import path;
+// Call is the acquiring function or method name; Release the method
+// that frees the result. Scope, when non-empty, restricts enforcement
+// to the listed package prefixes.
+type ResourceRule struct {
+	Pkg     string
+	Call    string
+	Release string
+	Scope   []string
 }
 
 // DefaultPolicy returns the live repo's policy. The ImportLayer table
@@ -117,6 +151,7 @@ func DefaultPolicy() *Policy {
 		},
 		MapDeterminism: []string{
 			"internal/accum", "internal/core", "internal/invfile", "internal/query",
+			"internal/lsh", "internal/metrics", "internal/reqtrace", "internal/slo",
 		},
 		WallClockExempt: []string{"internal/telemetry"},
 		NilRecv: map[string][]string{
@@ -130,7 +165,47 @@ func DefaultPolicy() *Policy {
 		MutexJoinScope: []string{"cmd/benchreport", "cmd/textjoin", "cmd/textjoind"},
 		SpanScope:      []string{"internal/core", "cmd/textjoind"},
 		SpanPackages:   []string{"internal/reqtrace", "internal/telemetry"},
+		Resources: []ResourceRule{
+			// iosim view sessions: a leaked view never merges its IOStats
+			// into the shared ledger, corrupting the Section-5 accounting.
+			{Pkg: "internal/iosim", Call: "View", Release: "Close"},
+			// The facade's Snapshot is the same session one layer up.
+			{Pkg: ".", Call: "Snapshot", Release: "Close"},
+			// Network listeners and OS file handles in the front ends.
+			{Pkg: "net", Call: "Listen", Release: "Close"},
+			{Pkg: "os", Call: "Open", Release: "Close", Scope: []string{"cmd"}},
+			{Pkg: "os", Call: "Create", Release: "Close", Scope: []string{"cmd"}},
+			{Pkg: "os", Call: "OpenFile", Release: "Close", Scope: []string{"cmd"}},
+		},
+		ErrDrop: []string{
+			"internal/iosim", "internal/btree", "internal/invfile",
+			"internal/collection", "internal/signature", "internal/lsh",
+			".", "cmd",
+		},
+		ErrDropExempt: []string{
+			"fmt", "strings", "bytes", "hash", "hash/fnv", "hash/maphash",
+			"math/rand",
+		},
+		LockOrder: []string{"internal", "cmd", "."},
 	}
+}
+
+// matchScope reports whether the module-relative package path rel falls
+// under any listed scope. "." matches only the module root; any other
+// entry matches itself and everything beneath it.
+func matchScope(list []string, rel string) bool {
+	for _, s := range list {
+		if s == "." {
+			if rel == "" {
+				return true
+			}
+			continue
+		}
+		if rel == s || len(rel) > len(s) && rel[:len(s)] == s && rel[len(s)] == '/' {
+			return true
+		}
+	}
+	return false
 }
 
 // Analyzers instantiates the full analyzer suite over a policy.
@@ -142,5 +217,8 @@ func Analyzers(pol *Policy) []Analyzer {
 		&nilRecv{pol: pol},
 		&mutexHygiene{pol: pol},
 		&spanHygiene{pol: pol},
+		&resourceLeak{pol: pol},
+		&errDrop{pol: pol},
+		&lockOrder{pol: pol},
 	}
 }

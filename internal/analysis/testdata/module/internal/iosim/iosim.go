@@ -5,8 +5,19 @@ package iosim
 // File is a stub paged file.
 type File struct{ pages [][]byte }
 
-// Open returns an empty file.
+// Open returns an empty file. The resourceleak fixture policy pairs it
+// with Close.
 func Open() *File { return &File{} }
+
+// OpenPair returns a file with a paired error, the (T, error) acquire
+// shape whose failure path owes no Close.
+func OpenPair() (*File, error) { return &File{}, nil }
+
+// Close releases the file.
+func (f *File) Close() error {
+	f.pages = nil
+	return nil
+}
 
 // ReadPage returns page i or nil.
 func (f *File) ReadPage(i int) []byte {

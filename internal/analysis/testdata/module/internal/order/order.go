@@ -1,0 +1,134 @@
+// Package order exercises the lockorder analyzer: the package's
+// lock-acquisition graph must be acyclic and no path may re-acquire a
+// mutex it already holds.
+package order
+
+import "sync"
+
+// S carries the direct two-lock cycle: LockAB nests a→b while LockBA
+// nests b→a.
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// LockAB holds a while taking b. The cycle diagnostic anchors on the
+// lexicographically-first edge, which is this acquire.
+func (s *S) LockAB() {
+	s.a.Lock()
+	s.b.Lock() // want lockorder "lock order cycle"
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// LockBA holds b while taking a — the opposite nesting.
+func (s *S) LockBA() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// Recurse re-acquires a held mutex: guaranteed self-deadlock.
+func (s *S) Recurse() {
+	s.a.Lock()
+	s.a.Lock() // want lockorder "while already holding it"
+	s.a.Unlock()
+	s.a.Unlock()
+}
+
+// T carries a cycle that only closes through the call graph: CD holds c
+// across a call into lockD, DC nests the pair directly the other way.
+type T struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+// CD acquires d via lockD while holding c.
+func (t *T) CD() {
+	t.c.Lock()
+	defer t.c.Unlock()
+	t.lockD() // want lockorder "lock order cycle"
+}
+
+func (t *T) lockD() {
+	t.d.Lock()
+	defer t.d.Unlock()
+}
+
+// DC nests d→c directly, closing the cycle with CD's c→d edge.
+func (t *T) DC() {
+	t.d.Lock()
+	defer t.d.Unlock()
+	t.c.Lock()
+	t.c.Unlock()
+}
+
+// U carries a suppressed cycle: a known, documented inversion.
+type U struct {
+	e sync.Mutex
+	f sync.Mutex
+}
+
+// EF holds e while taking f; the suppression below covers the cycle's
+// anchor edge.
+func (u *U) EF() {
+	u.e.Lock()
+	//lint:ignore lockorder fixture: the inversion is deliberate, proving suppression works
+	u.f.Lock()
+	u.f.Unlock()
+	u.e.Unlock()
+}
+
+// FE is the other half of the suppressed cycle.
+func (u *U) FE() {
+	u.f.Lock()
+	u.e.Lock()
+	u.e.Unlock()
+	u.f.Unlock()
+}
+
+// V nests its pair in the same g→h order everywhere: a clean order
+// graph with edges but no cycle.
+type V struct {
+	g sync.Mutex
+	h sync.Mutex
+}
+
+func (v *V) One() {
+	v.g.Lock()
+	v.h.Lock()
+	v.h.Unlock()
+	v.g.Unlock()
+}
+
+func (v *V) Two() {
+	v.g.Lock()
+	defer v.g.Unlock()
+	v.h.Lock()
+	defer v.h.Unlock()
+}
+
+// W guards the must-analysis: p is only held on one path into the q
+// acquire, so no p→q edge may form — a may-analysis would pair it with
+// QThenP's q→p edge into a false cycle.
+type W struct {
+	p sync.Mutex
+	q sync.Mutex
+}
+
+func (w *W) CondThenQ(flag bool) {
+	if flag {
+		w.p.Lock()
+		w.p.Unlock()
+	}
+	w.q.Lock()
+	w.q.Unlock()
+}
+
+func (w *W) QThenP() {
+	w.q.Lock()
+	w.p.Lock()
+	w.p.Unlock()
+	w.q.Unlock()
+}
